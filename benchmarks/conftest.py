@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Brute-force sweeps are expensive and reused by several tables/figures, so a
+session-scoped cache hands out one sweep per (kernel, machine).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import BruteForceSweep, make_setup, run_brute_force
+from repro.machine import BARCELONA, WESTMERE
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    cache: dict[tuple[str, str], BruteForceSweep] = {}
+
+    def get(kernel: str, machine) -> BruteForceSweep:
+        key = (kernel, machine.name)
+        if key not in cache:
+            cache[key] = run_brute_force(make_setup(kernel, machine))
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(params=[WESTMERE, BARCELONA], ids=lambda m: m.name)
+def machine(request):
+    return request.param
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,89 @@
+"""Ablation — what the rough-set reduction (and the protected thread
+dimension) buys.
+
+Three optimizer variants on mm/Westmere, same budget discipline:
+
+* full RS-GDE3 (reduction + protected threads),
+* GDE3 without any boundary reduction (the plain algorithm),
+* RS-GDE3 with the reduction also applied to the thread dimension (the
+  naive reading of Fig. 5, which collapses whole Pareto arms).
+
+Expectations: the reduction improves front quality at comparable budgets
+(it is the paper's selling point over plain evolutionary search); removing
+the thread protection produces clearly smaller fronts (fewer thread counts
+survive in the box).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_banner
+
+from repro.experiments import make_setup
+from repro.machine import WESTMERE
+from repro.optimizer import RSGDE3, compare_fronts
+from repro.optimizer.rsgde3 import RSGDE3Settings
+from repro.util.tables import Table
+
+REPS = 3
+
+
+def run_variants():
+    setup = make_setup("mm", WESTMERE)
+    variants = {
+        "RS-GDE3 (full)": RSGDE3Settings(),
+        "GDE3 (no reduction)": RSGDE3Settings(protect=frozenset()),
+        "RS-GDE3 unprotected": RSGDE3Settings(protect=frozenset()),
+    }
+    # "no reduction" = reduction disabled via a min-span floor of 1.0
+    results = {}
+    for name, settings in variants.items():
+        runs = []
+        for rep in range(REPS):
+            problem = setup.problem(seed=700 + rep)
+            if name == "GDE3 (no reduction)":
+                opt = RSGDE3(problem, RSGDE3Settings(protect=frozenset({"*all*"})))
+                # protect everything: boundary never shrinks
+                opt.settings = RSGDE3Settings(
+                    protect=frozenset(problem.space.names)
+                )
+            else:
+                opt = RSGDE3(problem, settings)
+            runs.append(opt.run(seed=rep))
+        results[name] = runs
+    return results
+
+
+def test_ablation_roughset_reduction(benchmark):
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    metrics = {m.name: m for m in compare_fronts(results)}
+    t = Table(
+        ["variant", "E", "|S|", "V(S)", "threads on front"],
+        title=f"Rough-set ablation on mm/Westmere (mean of {REPS} runs)",
+    )
+    spread = {}
+    for name, runs in results.items():
+        thread_counts = [
+            len({c.value("threads") for c in r.front}) for r in runs
+        ]
+        spread[name] = float(np.mean(thread_counts))
+        m = metrics[name]
+        t.add_row([name, int(m.evaluations), round(m.size, 1), round(m.hypervolume, 3), round(spread[name], 1)])
+    print_banner("ABLATION — rough-set reduction and thread protection")
+    print(t.render())
+
+    full = metrics["RS-GDE3 (full)"]
+    plain = metrics["GDE3 (no reduction)"]
+    unprot = metrics["RS-GDE3 unprotected"]
+
+    # the full algorithm is at least as good as plain GDE3 per evaluation
+    assert full.hypervolume / full.evaluations >= 0.8 * (
+        plain.hypervolume / plain.evaluations
+    )
+    # dropping the protection costs front diversity: fewer thread counts
+    # represented and a smaller front
+    assert spread["RS-GDE3 (full)"] > spread["RS-GDE3 unprotected"]
+    assert full.size > unprot.size
+    # and costs quality overall
+    assert full.hypervolume >= unprot.hypervolume - 0.02

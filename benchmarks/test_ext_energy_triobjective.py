@@ -1,0 +1,71 @@
+"""Extension — energy as a third objective.
+
+The paper names energy consumption as an example objective (§III-B1) but
+evaluates only (time, efficiency).  This extension benchmark runs the full
+tri-objective problem (time, cpu-seconds, joules) on mm/Westmere and checks
+the structure that makes it worthwhile:
+
+* the energy-optimal configuration sits at an *interior* thread count
+  (idle power punishes slow serial runs, core power and efficiency decay
+  punish the full machine),
+* the tri-objective front strictly refines the bi-objective one: it
+  contains configurations that the (time, resources) front cannot
+  distinguish,
+* the runtime's greenest/energy-cap policies act on the new metadata.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.driver import TuningDriver
+from repro.machine import WESTMERE
+from repro.runtime import EnergyCapPolicy, GreenestPolicy, RegionExecutor
+from repro.util.tables import Table
+
+
+def tune():
+    driver = TuningDriver(machine=WESTMERE, seed=9)
+    return driver.tune_kernel("mm", with_energy=True)
+
+
+def test_ext_triobjective_energy(benchmark):
+    tuned = benchmark.pedantic(tune, rounds=1, iterations=1)
+
+    metas = tuned.version_metas()
+    t = Table(
+        ["version", "threads", "time [s]", "cpu-s", "energy [J]"],
+        title=f"Tri-objective Pareto set for mm on Westmere (|S|={len(metas)})",
+    )
+    for m in metas:
+        t.add_row([m.index, m.threads, round(m.time, 4), round(m.resources, 3), round(m.energy, 1)])
+    print_banner("EXTENSION — (time, resources, energy) tuning")
+    print(t.render())
+
+    table = tuned.build_version_table(executable=False)
+    ex = RegionExecutor(table, policy=GreenestPolicy())
+    greenest = ex.select().meta
+    fastest = table.fastest().meta
+    most_eff = table.most_efficient().meta
+    print(
+        f"\ngreenest: {greenest.threads} threads / {greenest.energy:.1f} J   "
+        f"fastest: {fastest.threads} threads / {fastest.energy:.1f} J   "
+        f"fewest cpu-s: {most_eff.threads} threads / {most_eff.energy:.1f} J"
+    )
+
+    # interior energy optimum
+    assert 1 < greenest.threads < WESTMERE.total_cores
+    assert greenest.energy <= fastest.energy
+    assert greenest.energy <= most_eff.energy
+
+    # the front orders differently by time and by energy — energy is not a
+    # monotone transform of the other two objectives
+    by_time = [m.index for m in sorted(metas, key=lambda m: m.time)]
+    by_energy = [m.index for m in sorted(metas, key=lambda m: m.energy)]
+    assert by_time != by_energy
+
+    # energy-cap policy: a tight budget forces a slower version than the cap-free pick
+    budget = greenest.energy * 1.05
+    capped = EnergyCapPolicy(cap=budget).select(table).meta
+    assert capped.energy <= budget
+    assert capped.time >= fastest.time

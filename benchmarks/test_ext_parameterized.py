@@ -1,0 +1,68 @@
+"""Extension — parameterized tiling vs. multi-versioning (paper §IV).
+
+The paper chose multi-versioning over a single parameterized code version,
+arguing (a) parameterization is not general (unrolling/fission/fusion) and
+(b) fixed parameters let the binary compiler generate better code, at the
+cost of code size.  Both backends exist here, so the measurable side of the
+trade-off — generated code size vs. number of shipped versions — can be
+quantified, and the generality limitation is demonstrated.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.backend.multiversion import build_multiversion_c
+from repro.backend.parameterized import build_parameterized_c
+from repro.driver import TuningDriver
+from repro.machine import WESTMERE
+from repro.util.tables import Table
+
+
+def build_units():
+    driver = TuningDriver(machine=WESTMERE, seed=4)
+    out = {}
+    for kernel in ("mm", "jacobi2d", "nbody"):
+        tuned = driver.tune_kernel(kernel)
+        metas = tuned.version_metas()
+        mv = tuned.emit_c()
+        pv = build_parameterized_c(tuned.skeleton, metas)
+        out[kernel] = (len(metas), mv, pv)
+    return out
+
+
+def test_ext_parameterized_vs_multiversion(benchmark):
+    units = benchmark.pedantic(build_units, rounds=1, iterations=1)
+
+    t = Table(
+        ["kernel", "|S|", "multi-version LOC", "parameterized LOC", "size ratio"],
+        title="Code-size trade-off (paper section IV)",
+    )
+    for kernel, (n, mv, pv) in units.items():
+        mv_loc = len(mv.source.splitlines())
+        pv_loc = len(pv.source.splitlines())
+        t.add_row([kernel, n, mv_loc, pv_loc, round(mv_loc / pv_loc, 2)])
+    print_banner("EXTENSION — parameterized tiling vs multi-versioning")
+    print(t.render())
+
+    for kernel, (n, mv, pv) in units.items():
+        # multi-versioning pays code size proportional to |S| ...
+        assert len(mv.source) > len(pv.source)
+        # ... while the parameterized unit still carries every Pareto point
+        # as a table row
+        assert len(pv.table) == n
+        assert f"{kernel}_paramsets" in pv.source
+
+    # the generality limit: an unrollable skeleton cannot be parameterized
+    import pytest
+
+    from repro.analysis import extract_regions
+    from repro.frontend import get_kernel
+    from repro.transform import default_skeleton
+
+    k = get_kernel("mm")
+    region = extract_regions(k.function)[0]
+    sk = default_skeleton(region, k.default_size, 40, with_unroll=True)
+    with pytest.raises(ValueError):
+        build_parameterized_c(sk, [])
+    print("\nunrollable skeleton correctly rejected by the parameterized backend")

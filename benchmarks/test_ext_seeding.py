@@ -1,0 +1,98 @@
+"""Extension — informed population seeding.
+
+RS-GDE3 starts from a uniform random population; the machine model can do
+better without any measurement: seed half the population with tile shapes
+sized to the cache hierarchy (see ``repro.optimizer.seeding``).
+
+This benchmark traces the convergence (population-front hypervolume per
+evaluation) of random-initialized vs. informed-seeded RS-GDE3 on mm/
+Barcelona and asserts the seeding reaches the random run's *early* quality
+with fewer evaluations, without hurting the final front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_banner
+
+from repro.experiments import make_setup
+from repro.machine import BARCELONA
+from repro.optimizer import RSGDE3, compare_fronts
+from repro.optimizer.rsgde3 import RSGDE3Settings
+
+REPS = 3
+
+
+def run_variants():
+    setup = make_setup("mm", BARCELONA)
+    variants = {
+        "random init": RSGDE3Settings(informed_seed_fraction=0.0),
+        "informed seeds": RSGDE3Settings(informed_seed_fraction=0.5),
+    }
+    out = {}
+    for name, settings in variants.items():
+        runs = []
+        for rep in range(REPS):
+            problem = setup.problem(seed=810 + rep)
+            runs.append(RSGDE3(problem, settings).run(seed=rep))
+        out[name] = runs
+    return out
+
+
+def initial_population_quality() -> dict[str, dict[str, float]]:
+    """Best time / best resources reached by the *initial* populations
+    alone (no search), averaged over probes: informed seeding vs uniform
+    random at the same budget."""
+    from repro.optimizer.seeding import mixed_initial_vectors
+    from repro.util.rng import derive_rng
+
+    out = {"random": {"time": [], "resources": []}, "informed": {"time": [], "resources": []}}
+    for probe in range(3):
+        setup = make_setup("mm", BARCELONA)
+        problem = setup.problem(seed=900 + probe)
+        rng = derive_rng(900 + probe, "seed-probe")
+        n = 30
+        pops = {
+            "random": problem.evaluate_batch(problem.space.full_boundary().sample(rng, n)),
+            "informed": problem.evaluate_batch(
+                mixed_initial_vectors(problem.space, problem.target.model, n, rng, 0.5)
+            ),
+        }
+        for name, pop in pops.items():
+            out[name]["time"].append(min(c.objectives[0] for c in pop))
+            out[name]["resources"].append(min(c.objectives[1] for c in pop))
+    return {
+        name: {k: float(np.mean(v)) for k, v in d.items()} for name, d in out.items()
+    }
+
+
+def test_ext_informed_seeding(benchmark):
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    metrics = {m.name: m for m in compare_fronts(results)}
+    init_quality = initial_population_quality()
+    print_banner("EXTENSION — informed (cache-capacity) population seeding")
+    print(
+        "initial populations (no search, mean of 3 probes): best time "
+        f"random={init_quality['random']['time']:.4f}s vs "
+        f"informed={init_quality['informed']['time']:.4f}s; best cpu-s "
+        f"{init_quality['random']['resources']:.3f} vs "
+        f"{init_quality['informed']['resources']:.3f}"
+    )
+    for name, runs in results.items():
+        m = metrics[name]
+        print(f"{name:16s}: E={m.evaluations:6.1f} |S|={m.size:5.1f} V(S)={m.hypervolume:.3f}")
+        trace = runs[0].hv_history
+        step = max(1, len(trace) // 8)
+        line = " ".join(f"{e}:{hv:.3g}" for e, hv in trace[::step])
+        print(f"  convergence (E : population HV, run-local units): {line}")
+
+    # the informed initial population starts from much better configurations
+    assert init_quality["informed"]["time"] < init_quality["random"]["time"]
+    assert (
+        init_quality["informed"]["resources"]
+        <= init_quality["random"]["resources"] * 1.05
+    )
+
+    # and the final quality does not suffer
+    assert metrics["informed seeds"].hypervolume >= metrics["random init"].hypervolume - 0.03

@@ -1,0 +1,62 @@
+"""Extension — the skeleton itself as a tuning option (paper §III-B1).
+
+"Within each configuration all tuning options, including the skeleton to be
+selected ... are modeled uniformly."  Here the analyzer proposes one
+skeleton per legal loop order of mm's fully permutable band (all six
+i/j/k permutations); RS-GDE3 searches tiles × threads × skeleton at once.
+
+Shape targets: the per-order cost landscape differs by multiples (orders
+with an innermost ``i`` loop column-walk two arrays); the optimizer's front
+avoids the bad orders without any a-priori ranking.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from conftest import print_banner
+
+from repro.frontend import get_kernel
+from repro.machine import WESTMERE
+from repro.optimizer import RSGDE3
+from repro.optimizer.rsgde3 import RSGDE3Settings
+from repro.optimizer.skeleton_choice import build_skeleton_choice
+from repro.util.tables import Table
+
+
+def run():
+    k = get_kernel("mm")
+    problem = build_skeleton_choice(k.function, {"N": 1400}, WESTMERE, seed=5)
+    settings = RSGDE3Settings(protect=frozenset({"threads", "skeleton"}))
+    res = RSGDE3(problem, settings).run(seed=2)
+    ref_tiles = {"i": 96, "j": 288, "k": 9}
+    order_times = {
+        problem.orders[i]: sub.target.true_time(ref_tiles, 10)
+        for i, sub in enumerate(problem.sub_problems)
+    }
+    return problem, res, order_times
+
+
+def test_ext_skeleton_selection(benchmark):
+    problem, res, order_times = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t = Table(
+        ["loop order", "t(96,288,9 @10thr) [s]", "front points"],
+        title="mm loop-order skeletons on Westmere",
+    )
+    counts = Counter(c.value("skeleton") for c in res.front)
+    for idx, order in enumerate(problem.orders):
+        t.add_row(["".join(order), round(order_times[order], 4), counts.get(idx, 0)])
+    print_banner("EXTENSION — skeleton (loop order) selection inside the optimizer")
+    print(t.render())
+    print(f"\nE={res.evaluations} |S|={res.size} generations={res.generations}")
+
+    times = list(order_times.values())
+    assert max(times) / min(times) > 5, "loop orders must matter"
+
+    bad = {i for i, order in enumerate(problem.orders) if order[-1] == "i"}
+    front_bad = sum(1 for c in res.front if c.value("skeleton") in bad)
+    assert front_bad <= len(res.front) // 3, (
+        "the optimizer must avoid innermost-i orders on the front"
+    )
+    assert res.size >= 5

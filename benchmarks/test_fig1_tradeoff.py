@@ -1,0 +1,51 @@
+"""Figure 1 — efficiency and speedup trade-off for matrix multiplication.
+
+Regenerates the paper's motivating figure: speedup rises sub-linearly with
+the thread count while efficiency falls — the two objectives genuinely
+conflict, which is the reason the tuning problem is multi-objective.
+
+Printed as an ASCII series (thread count, speedup, efficiency); shape
+assertions: speedup strictly increasing, efficiency strictly decreasing,
+and the end-of-scale efficiency in the paper's 0.45-0.8 band.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.experiments import speedup_efficiency_rows
+from repro.machine import WESTMERE
+from repro.util.tables import Table
+
+
+def series(sweep_cache):
+    sweep = sweep_cache("mm", WESTMERE)
+    return speedup_efficiency_rows(sweep)
+
+
+def test_fig1_speedup_efficiency_tradeoff(benchmark, sweep_cache):
+    rows = benchmark.pedantic(lambda: series(sweep_cache), rounds=1, iterations=1)
+
+    t = Table(
+        ["threads", "speedup", "efficiency"],
+        title="Fig 1: mm on Westmere (per-thread-count optimal tiles)",
+    )
+    bars = []
+    for r in rows:
+        t.add_row([r["threads"], round(r["speedup"], 2), round(r["efficiency"], 3)])
+        bars.append(
+            f"  {r['threads']:3d} | "
+            + "#" * int(round(r["speedup"]))
+            + f"  (eff {'*' * int(round(r['efficiency'] * 20))})"
+        )
+    print_banner("FIGURE 1 — speedup vs efficiency (paper: eff. 1.0 -> 0.66 at 40 threads)")
+    print(t.render())
+    print("\nspeedup bars / efficiency stars:")
+    print("\n".join(bars))
+
+    speedups = [r["speedup"] for r in rows]
+    effs = [r["efficiency"] for r in rows]
+    assert all(a < b for a, b in zip(speedups, speedups[1:])), "speedup must rise"
+    assert all(a > b for a, b in zip(effs, effs[1:])), "efficiency must fall"
+    assert 0.45 <= effs[-1] <= 0.85, f"efficiency at 40 threads: {effs[-1]:.3f}"
+    assert speedups[-1] > 20, "40 threads should still speed up >20x"

@@ -1,0 +1,87 @@
+"""Figure 2 — relative execution time over (t_i, t_j) tile planes for
+different thread counts.
+
+The paper shows heatmaps of mm tile performance (t_k fixed) whose dark
+(fast) regions move as the thread count changes — the per-thread effective
+L3 capacity shrinks, so large tiles stop fitting.  We regenerate the plane
+with the vectorized cost model, render it as ASCII shading, and assert the
+load-bearing property: the fast region's centroid shifts toward smaller
+tiles at higher thread counts, and the per-count best tiles differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_banner
+
+from repro.experiments import make_setup
+from repro.machine import BARCELONA
+
+_SHADES = " .:-=+*#%@"  # light = fast
+
+
+def heatmap_plane(setup, threads: int, tk: int = 64, points: int = 24):
+    extent_i = setup.region.domain.extent("i", setup.sizes)
+    cands = np.unique(np.round(np.geomspace(4, extent_i // 2, points)).astype(int))
+    tiles = np.array([[ti, tj, tk] for ti in cands for tj in cands])
+    thr = np.full(len(tiles), threads)
+    times = setup.model.time_batch(tiles, thr)
+    grid = times.reshape(len(cands), len(cands))
+    return cands, grid
+
+
+def render(cands, grid) -> str:
+    rel = grid / grid.min()
+    lines = ["      " + " ".join(f"{c:4d}" for c in cands[::4]) + "   (t_j ->)"]
+    for i, ti in enumerate(cands):
+        row = rel[i]
+        shades = "".join(
+            _SHADES[min(len(_SHADES) - 1, int((v - 1) / 0.15))] for v in row
+        )
+        lines.append(f"{ti:5d} {shades}")
+    return "\n".join(lines)
+
+
+def centroid_of_fast_region(cands, grid, quantile=0.05):
+    cutoff = np.quantile(grid, quantile)
+    mask = grid <= cutoff
+    ti_idx, tj_idx = np.nonzero(mask)
+    return cands[ti_idx].mean(), cands[tj_idx].mean()
+
+
+def test_fig2_heatmaps_shift_with_threads(benchmark, sweep_cache):
+    setup = make_setup("mm", BARCELONA)
+
+    def compute():
+        return {thr: heatmap_plane(setup, thr) for thr in (1, 4, 32)}
+
+    planes = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    print_banner(
+        "FIGURE 2 — mm tile-plane heatmaps on Barcelona (t_k=64); dark=fast"
+    )
+    centroids = {}
+    for thr, (cands, grid) in planes.items():
+        print(f"\n--- {thr} thread(s): relative time over (t_i rows, t_j cols) ---")
+        print(render(cands, grid))
+        centroids[thr] = centroid_of_fast_region(cands, grid)
+        best = np.unravel_index(grid.argmin(), grid.shape)
+        print(
+            f"best tile (t_i={cands[best[0]]}, t_j={cands[best[1]]}), "
+            f"fast-region centroid ~ ({centroids[thr][0]:.0f}, {centroids[thr][1]:.0f})"
+        )
+
+    # the fast region must move: the product of centroid coordinates (a
+    # proxy for the favoured tile footprint) shrinks markedly between the
+    # 1-thread and the fully-populated machine as the shared L3 is divided
+    # among the threads of a socket
+    footprint = {thr: c[0] * c[1] for thr, c in centroids.items()}
+    assert footprint[32] < 0.8 * footprint[1], footprint
+    assert footprint[32] < 0.8 * footprint[4], footprint
+
+    # per-count optima differ (the premise of multi-versioning)
+    bests = {
+        thr: np.unravel_index(grid.argmin(), grid.shape)
+        for thr, (cands, grid) in planes.items()
+    }
+    assert len(set(bests.values())) >= 2

@@ -1,0 +1,82 @@
+"""Figure 8 — execution time vs. resource usage of brute-force configs.
+
+Every evaluated configuration of a thread count x lies on the ray
+``resources = x · time``; the per-count clouds form the paper's "lines",
+and their globally non-dominated lower-left tips form the Pareto front.
+
+Shape targets: each cloud's ray slope equals its thread count; the set of
+front configurations contains one point per (scaling) thread count; and on
+the bandwidth-bound jacobi-2d the highest thread counts contribute *no*
+tip ("configurations using too many cores for non-scaling codes ... will
+not be part of the Pareto front").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_banner
+
+from repro.machine import WESTMERE
+from repro.optimizer.pareto import non_dominated_mask
+from repro.util.tables import Table
+
+
+def analyze(sweep):
+    clouds = {}
+    for thr in sweep.data.thread_counts():
+        times, resources = sweep.cloud(thr)
+        clouds[thr] = (times, resources)
+    # global front over all evaluated points
+    objs = np.column_stack([sweep.data.times, sweep.data.times * sweep.data.threads])
+    mask = non_dominated_mask(objs)
+    tip_threads = sorted(set(int(t) for t in sweep.data.threads[mask]))
+    return clouds, tip_threads
+
+
+def ascii_scatter(clouds, width=64, height=16):
+    all_t = np.concatenate([c[0] for c in clouds.values()])
+    all_r = np.concatenate([c[1] for c in clouds.values()])
+    t_lo, t_hi = np.log10(all_t.min()), np.log10(all_t.max())
+    r_lo, r_hi = np.log10(all_r.min()), np.log10(all_r.max())
+    grid = [[" "] * width for _ in range(height)]
+    for thr, (times, resources) in clouds.items():
+        ch = str(thr)[-1]
+        xs = ((np.log10(times) - t_lo) / (t_hi - t_lo + 1e-12) * (width - 1)).astype(int)
+        ys = ((np.log10(resources) - r_lo) / (r_hi - r_lo + 1e-12) * (height - 1)).astype(int)
+        for x, y in zip(xs, ys):
+            grid[height - 1 - y][x] = ch
+    return "\n".join("".join(row) for row in grid)
+
+
+def test_fig8_time_vs_resources(benchmark, sweep_cache):
+    sweep = sweep_cache("mm", WESTMERE)
+    clouds, tip_threads = benchmark.pedantic(
+        lambda: analyze(sweep), rounds=1, iterations=1
+    )
+
+    print_banner("FIGURE 8 — mm/Westmere: log time (x) vs log resources (y); digit = last digit of thread count")
+    print(ascii_scatter(clouds))
+    t = Table(["threads", "configs", "min time", "min resources", "on front"])
+    for thr, (times, resources) in sorted(clouds.items()):
+        t.add_row(
+            [thr, len(times), round(times.min(), 4), round(resources.min(), 4), "yes" if thr in tip_threads else "no"]
+        )
+    print(t.render())
+
+    # ray property: resources/time == threads for every point
+    for thr, (times, resources) in clouds.items():
+        assert np.allclose(resources / times, thr)
+
+    # mm scales: every evaluated thread count contributes a front tip
+    assert tip_threads == sorted(clouds)
+
+    # non-scaling counterpoint: on the bandwidth-bound jacobi-2d, some
+    # thread count is dominated and contributes no tip (doubling threads on
+    # an already saturated socket only adds coherence cost, so 10 threads
+    # is dominated by 5; cross-socket counts return because they add
+    # memory bandwidth)
+    jac = sweep_cache("jacobi2d", WESTMERE)
+    _, jac_tips = analyze(jac)
+    assert set(jac_tips) < set(jac.data.thread_counts()), (
+        f"expected a dominated thread count on jacobi-2d: tips={jac_tips}"
+    )

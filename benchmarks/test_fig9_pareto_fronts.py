@@ -1,0 +1,94 @@
+"""Figure 9 — Pareto fronts of RS-GDE3 vs. brute force vs. random search.
+
+Regenerates the paper's front comparison for mm on both machines as an
+ASCII plot plus hypervolume numbers.
+
+Shape targets (paper): RS-GDE3's front matches or exceeds the brute-force
+front's quality ("up to 13% faster" points on Westmere, close on
+Barcelona) while random search at the same budget is clearly worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_banner
+
+from repro.experiments import make_setup
+from repro.optimizer import RSGDE3, compare_fronts, random_search
+from repro.util.tables import Table
+
+
+REPS = 3
+
+
+def run(machine, sweep_cache):
+    """Brute-force front plus REPS runs of the stochastic strategies (the
+    plot shows the first run; metrics average over all runs)."""
+    sweep = sweep_cache("mm", machine)
+    setup = sweep.setup
+    rs_runs, rnd_runs = [], []
+    for rep in range(REPS):
+        rs = RSGDE3(setup.problem(seed=301 + rep)).run(seed=31 + rep)
+        rs_runs.append(rs)
+        rnd_runs.append(
+            random_search(setup.problem(seed=351 + rep), budget=rs.evaluations, seed=31 + rep)
+        )
+    return sweep.result, rs_runs, rnd_runs
+
+
+def front_points(result):
+    return np.array([c.objectives for c in result.front])
+
+
+def ascii_fronts(fronts: dict[str, np.ndarray], width=68, height=18) -> str:
+    pts_all = np.vstack(list(fronts.values()))
+    lo = np.log10(pts_all.min(axis=0))
+    hi = np.log10(pts_all.max(axis=0))
+    grid = [[" "] * width for _ in range(height)]
+    for label, pts in fronts.items():
+        ch = label[0]
+        xs = ((np.log10(pts[:, 0]) - lo[0]) / (hi[0] - lo[0] + 1e-12) * (width - 1)).astype(int)
+        ys = ((np.log10(pts[:, 1]) - lo[1]) / (hi[1] - lo[1] + 1e-12) * (height - 1)).astype(int)
+        for x, y in zip(xs, ys):
+            grid[height - 1 - y][x] = ch
+    return "\n".join("".join(r) for r in grid)
+
+
+def test_fig9_front_comparison(benchmark, sweep_cache, machine):
+    bf, rs_runs, rnd_runs = benchmark.pedantic(
+        lambda: run(machine, sweep_cache), rounds=1, iterations=1
+    )
+
+    metrics = {
+        m.name: m
+        for m in compare_fronts(
+            {"Brute Force": [bf], "RS-GDE3": rs_runs, "Random": rnd_runs}
+        )
+    }
+    print_banner(
+        f"FIGURE 9 — mm on {machine.name}: fronts (B=brute force, R... see legend)"
+    )
+    print("legend: B = Brute Force, R = RS-GDE3 / r = random (overlap possible)")
+    print(
+        ascii_fronts(
+            {
+                "Brute": front_points(bf),
+                "RS-GDE3": front_points(rs_runs[0]),
+                "random": front_points(rnd_runs[0]),
+            }
+        )
+    )
+    t = Table(["strategy", "E", "|S|", "V(S)"])
+    for name, m in metrics.items():
+        t.add_row([name, int(m.evaluations), int(m.size), round(m.hypervolume, 3)])
+    print(t.render())
+
+    # RS-GDE3 within a whisker of (or better than) brute force — the paper
+    # itself reports Westmere fronts *exceeding* brute force but Barcelona
+    # ones "close to the brute force results" (slightly weaker)
+    assert metrics["RS-GDE3"].hypervolume > 0.85 * metrics["Brute Force"].hypervolume
+    # ...at a tiny fraction of the evaluations
+    assert metrics["RS-GDE3"].evaluations < 0.1 * metrics["Brute Force"].evaluations
+    # and better than random search at the same budget
+    assert metrics["RS-GDE3"].hypervolume > metrics["Random"].hypervolume
+    assert metrics["Random"].evaluations == metrics["RS-GDE3"].evaluations

@@ -1,0 +1,90 @@
+"""Framework micro-benchmarks (multi-round timings of the hot paths).
+
+Unlike the table/figure reproductions (single-shot by design), these use
+pytest-benchmark's statistics to track the framework's own performance:
+the scalar and vectorized cost model, configuration measurement, one GDE3
+generation, non-dominated filtering at brute-force scale, and hypervolume.
+Regression guards assert the throughput floors the experiment harness
+relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import make_setup
+from repro.machine import WESTMERE
+from repro.optimizer import GDE3, hypervolume
+from repro.optimizer.pareto import non_dominated_mask
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("mm", WESTMERE)
+
+
+def test_perf_cost_model_scalar(benchmark, setup):
+    model = setup.model
+    tiles = {"i": 64, "j": 128, "k": 16}
+    result = benchmark(lambda: model.time(tiles, 10))
+    assert result > 0
+    # the harness needs thousands of scalar evaluations per second
+    assert benchmark.stats["mean"] < 5e-3
+
+
+def test_perf_cost_model_batch(benchmark, setup):
+    model = setup.model
+    rng = derive_rng(0)
+    B = 4096
+    tiles = np.stack(
+        [rng.integers(1, 700, B), rng.integers(1, 700, B), rng.integers(1, 700, B)],
+        axis=1,
+    )
+    threads = rng.choice([1, 5, 10, 20, 40], B)
+
+    out = benchmark(lambda: model.time_batch(tiles, threads))
+    assert len(out) == B
+    # brute-force sweeps require >100k evals/s through the batch path
+    assert B / benchmark.stats["mean"] > 100_000
+
+
+def test_perf_measured_evaluation(benchmark, setup):
+    target = setup.target(seed=123)
+    counter = [0]
+
+    def measure_fresh():
+        counter[0] += 1
+        return target.evaluate({"i": counter[0] % 600 + 1, "j": 64, "k": 16}, 10)
+
+    obj = benchmark(measure_fresh)
+    assert obj.time > 0
+
+
+def test_perf_gde3_generation(benchmark, setup):
+    problem = setup.problem(seed=7)
+    gde3 = GDE3(problem)
+    rng = derive_rng(7)
+    full = problem.space.full_boundary()
+    pop = gde3.initial_population(full, rng)
+
+    result = benchmark(lambda: gde3.generation(list(pop), full, rng))
+    assert len(result) <= gde3.settings.population_size
+
+
+def test_perf_non_dominated_mask_large(benchmark):
+    rng = derive_rng(3)
+    objs = rng.random((50_000, 2))
+    mask = benchmark(lambda: non_dominated_mask(objs))
+    assert mask.any()
+    # the 2-D sweep must stay comfortably sub-second at brute-force scale
+    assert benchmark.stats["mean"] < 1.0
+
+
+def test_perf_hypervolume_2d(benchmark):
+    rng = derive_rng(4)
+    pts = rng.random((500, 2))
+    ref = np.array([1.1, 1.1])
+    hv = benchmark(lambda: hypervolume(pts, ref))
+    assert 0 < hv < 1.21

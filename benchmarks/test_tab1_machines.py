@@ -1,0 +1,45 @@
+"""Table I — target-platform configuration.
+
+Regenerates the paper's platform table from the machine models and checks
+the documented parameters (sockets, cores, cache geometry).  This is the
+inputs table: everything else in the harness derives from these models.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.machine import BARCELONA, WESTMERE
+from repro.util.tables import Table
+
+
+def build_table() -> Table:
+    t = Table(
+        ["System", "Sockets/Cores", "L1d", "L2", "L3 (shared)", "Threads evaluated"],
+        title="Table I: evaluation platforms",
+    )
+    for m in (WESTMERE, BARCELONA):
+        t.add_row(
+            [
+                m.name,
+                f"{m.sockets}/{m.total_cores}",
+                f"{m.level('L1').size // 1024}K",
+                f"{m.level('L2').size // 1024}K",
+                f"{m.level('L3').size // (1024 * 1024)}M",
+                ",".join(map(str, m.default_thread_counts())),
+            ]
+        )
+    return t
+
+
+def test_tab1_machine_models(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_banner("TABLE I — machine models (paper: 4/40 32K/256K/30M; 8/32 64K/512K/2M)")
+    print(table.render())
+
+    assert WESTMERE.sockets == 4 and WESTMERE.total_cores == 40
+    assert WESTMERE.level("L3").size == 30 * 1024 * 1024
+    assert BARCELONA.sockets == 8 and BARCELONA.total_cores == 32
+    assert BARCELONA.level("L3").size == 2 * 1024 * 1024
+    assert WESTMERE.default_thread_counts() == (1, 5, 10, 20, 40)
+    assert BARCELONA.default_thread_counts() == (1, 2, 4, 8, 16, 32)

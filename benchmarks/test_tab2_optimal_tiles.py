@@ -1,0 +1,76 @@
+"""Table II — optimal tiling parameters per thread count and the
+cross-thread performance-loss matrix, plus the GCC -O3 baseline row.
+
+Shape targets (paper): the per-thread-count optimal tiles differ; using a
+configuration tuned for one thread count at another costs performance
+(up to double digits, worst when tuning only for 1 thread and running with
+every core); the untiled "-O3" baseline is massively slower than any tuned
+configuration.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.experiments import cross_penalty_matrix
+from repro.util.tables import Table
+
+
+def build(sweep):
+    optima = sweep.optimal_tiles()
+    matrix = cross_penalty_matrix(sweep)
+    baseline = sweep.setup.model.baseline_time()
+    return optima, matrix, baseline
+
+
+def test_tab2_optimal_tiles_and_penalties(benchmark, sweep_cache, machine):
+    sweep = sweep_cache("mm", machine)
+    optima, matrix, baseline = benchmark.pedantic(
+        lambda: build(sweep), rounds=1, iterations=1
+    )
+
+    threads = sorted(optima)
+    band = sweep.setup.region.tile_band
+    t = Table(
+        ["cores", "opt. tiles"]
+        + [f"loss@{b}" for b in threads]
+        + ["avg %"],
+        title=f"Table II: mm on {machine.name} (loss % of running row-tiles at column-count)",
+    )
+    avgs = {}
+    for a in threads:
+        tiles, _ = optima[a]
+        row = matrix[a]
+        off = [row[b] for b in threads if b != a]
+        avgs[a] = sum(off) / len(off)
+        t.add_row(
+            [a, " ".join(f"{v}={tiles[v]}" for v in band)]
+            + [("-" if a == b else round(row[b], 1)) for b in threads]
+            + [round(avgs[a], 1)]
+        )
+    best_seq = optima[1][1]
+    t.add_row(
+        ["-O3", "untiled"]
+        + [round(100 * (baseline / optima[b][1] - 1), 0) for b in threads]
+        + ["-"]
+    )
+    print_banner(f"TABLE II — {machine.name} (paper: avg losses 1.8-13.7%, -O3 far slower)")
+    print(t.render())
+
+    # per-thread-count optima are not all identical
+    tile_sets = {tuple(sorted(optima[a][0].items())) for a in threads}
+    assert len(tile_sets) >= 2, "optimal tiles must depend on the thread count"
+
+    # cross-thread use costs performance somewhere, and meaningfully so
+    worst = max(avgs.values())
+    assert worst > 1.0, f"expected visible cross-thread penalty, got {worst:.2f}%"
+
+    # diagonal is zero by construction; off-diagonal entries ~ never hugely
+    # negative (noise floor only)
+    for a in threads:
+        for b in threads:
+            if a != b:
+                assert matrix[a][b] > -2.0
+
+    # "-O3" baseline is far slower than every per-count optimum at 1 thread
+    assert baseline / optima[1][1] > 3.0

@@ -1,0 +1,67 @@
+"""Table III — impact of the thread count on speedup and efficiency.
+
+Regenerates both halves of the paper's table (Westmere and Barcelona):
+speedup, efficiency, relative time and relative resource usage of the
+per-thread-count optimal configurations — the Pareto points of Fig. 8.
+
+Shape targets from the paper: efficiency decays monotonically; relative
+resources grow monotonically (100% -> ~150% on Westmere, ~220% on
+Barcelona); speedup at full machine stays clearly below linear.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_banner
+
+from repro.experiments import speedup_efficiency_rows
+from repro.machine import BARCELONA, WESTMERE
+from repro.util.tables import Table
+
+#: the paper's Table III (threads -> (speedup, efficiency)) for comparison
+PAPER = {
+    "Westmere": {1: (1.0, 1.0), 5: (4.83, 0.97), 10: (9.26, 0.93), 20: (16.78, 0.84), 40: (26.36, 0.66)},
+    "Barcelona": {1: (1.0, 1.0), 2: (1.92, 0.96), 4: (3.65, 0.91), 8: (6.53, 0.82), 16: (10.65, 0.67), 32: (14.53, 0.45)},
+}
+
+
+def test_tab3_speedup_and_efficiency(benchmark, sweep_cache, machine):
+    sweep = sweep_cache("mm", machine)
+    rows = benchmark.pedantic(
+        lambda: speedup_efficiency_rows(sweep), rounds=1, iterations=1
+    )
+
+    t = Table(
+        ["cores", "speedup", "efficiency", "rel. time", "rel. resources", "paper s(x)", "paper e(x)"],
+        title=f"Table III: mm on {machine.name}",
+    )
+    for r in rows:
+        ps, pe = PAPER[machine.name].get(r["threads"], (float("nan"), float("nan")))
+        t.add_row(
+            [
+                r["threads"],
+                round(r["speedup"], 3),
+                round(r["efficiency"], 3),
+                f"{100 * r['relative_time']:.0f}%",
+                f"{100 * r['relative_resources']:.0f}%",
+                ps,
+                pe,
+            ]
+        )
+    print_banner(f"TABLE III — {machine.name} (measured vs paper values)")
+    print(t.render())
+
+    effs = [r["efficiency"] for r in rows]
+    resources = [r["relative_resources"] for r in rows]
+    speedups = [r["speedup"] for r in rows]
+    threads = [r["threads"] for r in rows]
+
+    assert effs == sorted(effs, reverse=True), "efficiency must fall monotonically"
+    assert resources == sorted(resources), "resource usage must grow monotonically"
+    assert speedups == sorted(speedups), "speedup must grow"
+    # full-machine speedup clearly sublinear but substantial
+    full = rows[-1]
+    assert 0.3 * threads[-1] < full["speedup"] < 0.95 * threads[-1]
+    # compare against paper's end-of-scale efficiency within a loose band
+    paper_final_eff = PAPER[machine.name][threads[-1]][1]
+    assert full["efficiency"] == pytest.approx(paper_final_eff, abs=0.15)

@@ -1,0 +1,102 @@
+"""Table VI — the paper's headline comparison: brute force vs. random
+search vs. RS-GDE3 on all five kernels and both machines.
+
+Metrics per strategy (averaged over repeated runs of the stochastic
+strategies, like the paper's 5-run aggregation): evaluations E, Pareto-set
+size |S| and normalized hypervolume V(S).
+
+Shape targets (paper §V-C): RS-GDE3 uses 90-99% fewer evaluations than
+brute force; its fronts contain more configurations than the brute-force
+grid's; its hypervolume is comparable to (frequently better than) brute
+force; random search at the same budget is consistently worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_banner
+
+from repro.experiments import EXPERIMENT_KERNELS, make_setup
+from repro.machine import BARCELONA, WESTMERE
+from repro.optimizer import RSGDE3, compare_fronts, random_search
+from repro.util.tables import Table
+
+REPETITIONS = 5
+
+
+def run_kernel(kernel: str, machine, sweep_cache):
+    sweep = sweep_cache(kernel, machine)
+    setup = sweep.setup
+    rs_runs, rnd_runs = [], []
+    for rep in range(REPETITIONS):
+        rs = RSGDE3(setup.problem(seed=500 + rep)).run(seed=rep)
+        rs_runs.append(rs)
+        rnd_runs.append(
+            random_search(
+                setup.problem(seed=600 + rep), budget=rs.evaluations, seed=rep
+            )
+        )
+    return compare_fronts(
+        {
+            "Brute Force": [sweep.result],
+            "Random": rnd_runs,
+            "RS-GDE3": rs_runs,
+        }
+    )
+
+
+def test_tab6_strategy_comparison(benchmark, sweep_cache):
+    def compute():
+        return {
+            (kernel, machine.name): run_kernel(kernel, machine, sweep_cache)
+            for machine in (WESTMERE, BARCELONA)
+            for kernel in EXPERIMENT_KERNELS
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    for machine in (WESTMERE, BARCELONA):
+        t = Table(
+            ["benchmark", "BF E", "BF |S|", "BF V", "Rnd |S|", "Rnd V", "RS E", "RS |S|", "RS V"],
+            title=f"Table VI on {machine.name} (RS-GDE3/random: mean of {REPETITIONS} runs)",
+        )
+        for kernel in EXPERIMENT_KERNELS:
+            ms = {m.name: m for m in results[(kernel, machine.name)]}
+            bf, rnd, rs = ms["Brute Force"], ms["Random"], ms["RS-GDE3"]
+            t.add_row(
+                [
+                    kernel,
+                    int(bf.evaluations),
+                    round(bf.size, 1),
+                    round(bf.hypervolume, 2),
+                    round(rnd.size, 1),
+                    round(rnd.hypervolume, 2),
+                    int(rs.evaluations),
+                    round(rs.size, 1),
+                    round(rs.hypervolume, 2),
+                ]
+            )
+        print_banner(f"TABLE VI — {machine.name}")
+        print(t.render())
+
+    reduction_ratios = []
+    for (kernel, machine_name), metrics in results.items():
+        ms = {m.name: m for m in metrics}
+        bf, rnd, rs = ms["Brute Force"], ms["Random"], ms["RS-GDE3"]
+
+        # paper conclusion 2: 90-99% fewer evaluations than brute force
+        ratio = rs.evaluations / bf.evaluations
+        reduction_ratios.append(ratio)
+        assert ratio < 0.25, (kernel, machine_name, ratio)
+
+        # paper conclusion 1: more configurations than brute force & random
+        assert rs.size >= bf.size, (kernel, machine_name)
+
+        # paper conclusion 3: hypervolume comparable to brute force
+        assert rs.hypervolume > bf.hypervolume - 0.12, (kernel, machine_name)
+
+        # and clearly better than random search (slack for simulator noise)
+        assert rs.hypervolume >= rnd.hypervolume - 0.02, (kernel, machine_name)
+
+    # aggregate: the *typical* saving is >=90%
+    assert float(np.median(reduction_ratios)) < 0.10

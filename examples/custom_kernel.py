@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Tuning user-supplied C code and emitting a multi-versioned C file.
+
+The paper's framework is compiler-based: "compiler-based solutions do not
+depend on the programmer to establish the search space".  This example
+feeds a C kernel the framework has never seen (a blocked covariance-style
+update) through the same pipeline:
+
+* the mini-C frontend parses it into the IR,
+* the analyzer's dependence test finds the tilable band and the parallel
+  loops on its own,
+* RS-GDE3 tunes it for the simulated 32-core Barcelona machine,
+* the multi-versioning backend writes ``custom_multiversioned.c`` next to
+  this script — compile it with ``gcc -fopenmp -c`` if you like.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import extract_regions
+from repro.driver import TuningDriver
+from repro.frontend import parse_function
+from repro.machine import BARCELONA
+
+SOURCE = """
+void cov_update(int N, int M, double X[N][M], double S[M][M]) {
+    for (int a = 0; a < M; a++)
+        for (int b = 0; b < M; b++)
+            for (int s = 0; s < N; s++)
+                S[a][b] += X[s][a] * X[s][b];
+}
+"""
+
+
+def main() -> None:
+    fn = parse_function(SOURCE)
+
+    # what did the analyzer find?
+    region = extract_regions(fn)[0]
+    print(f"kernel        : {fn.name}")
+    print(f"loop nest     : {region.domain.vars}")
+    print(f"tilable band  : {region.tile_band}")
+    print(f"parallelizable: {region.parallelizable}")
+    print(f"dependences   : {[f'{d.array}{d.directions}' for d in region.dependences]}")
+
+    driver = TuningDriver(machine=BARCELONA, seed=7)
+    tuned = driver.tune_function(fn, sizes={"N": 2000, "M": 800})
+    print()
+    print(tuned.summary())
+
+    unit = tuned.emit_c()
+    out = Path(__file__).with_name("custom_multiversioned.c")
+    out.write_text(unit.source)
+    print(f"\nWrote {out.name}: {len(unit.versions)} versions + dispatch table.")
+    print("Compile check: gcc -std=c99 -fopenmp -fsyntax-only", out.name)
+
+
+if __name__ == "__main__":
+    main()

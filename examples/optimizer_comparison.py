@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Comparing search strategies across all five kernels (mini Table VI).
+
+Runs RS-GDE3, NSGA-II, random search and a brute-force grid on every
+kernel of the paper's evaluation (on the simulated Barcelona machine) and
+reports the paper's three metrics: evaluations E, Pareto-set size |S| and
+normalized hypervolume V(S).
+
+This is a smaller, single-repetition version of the full Table VI
+reproduction in ``benchmarks/test_tab6_optimizer_comparison.py``.
+
+Run:  python examples/optimizer_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import EXPERIMENT_KERNELS, make_setup, run_brute_force
+from repro.machine import BARCELONA
+from repro.optimizer import NSGA2, RSGDE3, compare_fronts, random_search
+from repro.util.tables import Table
+
+
+def main() -> None:
+    table = Table(
+        ["kernel", "strategy", "E", "|S|", "V(S)"],
+        title=f"Strategy comparison on {BARCELONA.name} (1 run each)",
+    )
+    for kernel in EXPERIMENT_KERNELS:
+        t0 = time.perf_counter()
+        setup = make_setup(kernel, BARCELONA)
+
+        bf = run_brute_force(setup).result
+        rs = RSGDE3(setup.problem(seed=101)).run(seed=1)
+        budget = max(rs.evaluations, 30)
+        rnd = random_search(setup.problem(seed=102), budget=budget, seed=1)
+        ga = NSGA2(setup.problem(seed=103)).run(seed=1)
+
+        metrics = compare_fronts(
+            {"brute force": [bf], "random": [rnd], "NSGA-II": [ga], "RS-GDE3": [rs]}
+        )
+        for m in metrics:
+            table.add_row([kernel, m.name, int(m.evaluations), m.size, m.hypervolume])
+        print(f"  [{kernel} done in {time.perf_counter() - t0:.1f}s]")
+
+    print()
+    print(table.render())
+    print(
+        "\nExpected shape (paper Table VI): RS-GDE3 reaches brute-force-level"
+        "\nhypervolume with 90-99% fewer evaluations and produces the largest"
+        "\nPareto sets; random search at the same budget trails clearly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "A Multi-Objective Auto-Tuning Framework for
+Parallel Codes" (Jordan, Thoman, Durillo, Pellegrini, Gschwandtner,
+Fahringer, Moritsch — SC 2012).
+
+The package mirrors the paper's architecture (Fig. 3):
+
+* :mod:`repro.frontend` / :mod:`repro.ir` — input kernels and the loop-nest IR,
+* :mod:`repro.analysis` — region extraction, dependences, tilability,
+* :mod:`repro.transform` — tiling / collapsing / parallelization skeletons,
+* :mod:`repro.optimizer` — the RS-GDE3 multi-objective optimizer plus
+  brute-force / random / NSGA-II baselines and quality metrics,
+* :mod:`repro.machine` + :mod:`repro.evaluation` — the simulated target
+  platforms (Westmere, Barcelona) and the measurement substrate,
+* :mod:`repro.backend` — multi-versioned C and executable NumPy code
+  generation with trade-off metadata tables,
+* :mod:`repro.runtime` — dynamic version selection policies,
+* :mod:`repro.driver` — the end-to-end compiler driver.
+
+Quickstart::
+
+    from repro.driver import TuningDriver
+    from repro.machine import WESTMERE
+
+    driver = TuningDriver(machine=WESTMERE, seed=42)
+    result = driver.tune_kernel("mm")
+    exe = result.build_multiversioned()
+    exe.select(policy="balanced")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,50 @@
+"""Program analysis: the paper's "Code Analyzer" component (Fig. 3, label 1-2).
+
+Given a kernel function, the analyzer
+
+1. extracts affine iteration domains and access functions
+   (:mod:`repro.analysis.polyhedral`),
+2. runs a dependence test to obtain direction/distance vectors
+   (:mod:`repro.analysis.dependence`),
+3. determines the largest tilable loop band and the parallelizable loops,
+   yielding tunable regions (:mod:`repro.analysis.regions`),
+4. computes static features — flops per point, per-array footprints,
+   complexity classes — consumed by the machine cost model and Table IV
+   (:mod:`repro.analysis.features`).
+"""
+
+from repro.analysis.polyhedral import (
+    AccessFunction,
+    AffineExpr,
+    IterationDomain,
+    access_functions,
+    affine_of,
+    iteration_domain,
+)
+from repro.analysis.dependence import (
+    Dependence,
+    DependenceKind,
+    analyze_dependences,
+    parallel_loops,
+    tilable_band,
+)
+from repro.analysis.regions import TunableRegion, extract_regions
+from repro.analysis.features import KernelFeatures, analyze_features
+
+__all__ = [
+    "AffineExpr",
+    "AccessFunction",
+    "IterationDomain",
+    "affine_of",
+    "access_functions",
+    "iteration_domain",
+    "Dependence",
+    "DependenceKind",
+    "analyze_dependences",
+    "tilable_band",
+    "parallel_loops",
+    "TunableRegion",
+    "extract_regions",
+    "KernelFeatures",
+    "analyze_features",
+]

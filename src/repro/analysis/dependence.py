@@ -1,0 +1,344 @@
+"""Dependence testing on perfect loop nests.
+
+The analyzer needs two facts per region (paper §IV): the largest loop band
+that can be *tiled* (and optionally collapsed), and which loops can be
+*parallelized*.  Both derive from data-dependence direction vectors.
+
+The test implemented here is exact for uniformly generated reference pairs
+(identical linear parts, constant subscript offsets — all pairs occurring in
+the evaluated kernel class) and conservative otherwise:
+
+* uniform pairs ⇒ exact distance vectors, e.g. the ``k``-carried reduction
+  in mm yields direction ``(=, =, <)``;
+* non-uniform affine pairs ⇒ per-dimension GCD test to disprove a solution,
+  otherwise direction ``*`` (unknown) in every loop whose index occurs in
+  the subscripts and ``<`` in loops that occur in neither;
+* any non-affine subscript ⇒ fully conservative ``(*, …, *)``.
+
+Legality rules derived from the directions:
+
+* a loop is **parallelizable** iff no dependence is carried by it (its entry
+  is ``=`` in every dependence whose outer entries are all ``=``);
+* a loop band is **tilable** (fully permutable) iff every dependence has
+  only ``=``/``<``/distance ≥ 0 entries within the band.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.ir.nodes import For, Stmt
+from repro.analysis.polyhedral import AccessFunction, access_functions
+from repro.ir.visitors import loop_vars
+
+__all__ = [
+    "DependenceKind",
+    "Dependence",
+    "analyze_dependences",
+    "tilable_band",
+    "parallel_loops",
+]
+
+
+class DependenceKind(enum.Enum):
+    FLOW = "flow"  # write -> read
+    ANTI = "anti"  # read -> write
+    OUTPUT = "output"  # write -> write
+
+
+#: direction entries: '=', '<', '>', '*'
+Direction = str
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A data dependence between two references of the same array.
+
+    ``directions[k]`` refers to the k-th loop of the analyzed nest (outermost
+    first).  ``distance`` is the exact distance vector when known.
+    ``is_reduction`` marks self-dependences of associative update statements
+    (``X op= e`` with X not indexed by the carrying loop) which tiling and
+    privatizing transformations may relax.
+    """
+
+    array: str
+    kind: DependenceKind
+    directions: tuple[Direction, ...]
+    distance: tuple[int | None, ...] | None = None
+    is_reduction: bool = False
+
+    def carried_level(self) -> int | None:
+        """Index of the outermost non-'=' entry, or ``None`` if loop
+        independent.  A ``*`` entry counts as (potentially) carried."""
+        for level, d in enumerate(self.directions):
+            if d != "=":
+                return level
+        return None
+
+
+def analyze_dependences(nest_root: For) -> list[Dependence]:
+    """All pairwise dependences of the perfect nest rooted at *nest_root*."""
+    lvars = loop_vars(nest_root)
+    accesses = access_functions(nest_root)
+    by_array: dict[str, list[AccessFunction]] = {}
+    for acc in accesses:
+        by_array.setdefault(acc.array, []).append(acc)
+
+    deps: list[Dependence] = []
+    for array, accs in by_array.items():
+        for a_idx, a in enumerate(accs):
+            for b in accs[a_idx:]:
+                if not (a.is_write or b.is_write):
+                    continue
+                if a is b:
+                    if not a.is_write:
+                        continue
+                    # self-output dependence: a write whose subscripts do
+                    # not pin every loop re-touches the same element across
+                    # iterations (e.g. A[0] = ..., or C[i][j] across k)
+                    dep = _self_output(array, a, lvars)
+                else:
+                    dep = _test_pair(array, a, b, lvars)
+                if dep is not None:
+                    deps.append(dep)
+    return deps
+
+
+def _self_output(array: str, acc: AccessFunction, lvars: list[str]) -> Dependence | None:
+    """Output dependence of a single write with itself across iterations:
+    carried by every loop whose index the subscripts do not constrain."""
+    if not acc.is_affine:
+        return Dependence(
+            array, DependenceKind.OUTPUT, tuple("*" for _ in lvars), None, acc.in_reduction
+        )
+    # a loop var is *pinned* iff some dimension's subscript involves exactly
+    # that one loop var (injective in it) — coupled subscripts like A[i+j]
+    # pin neither i nor j (iterations (0,1) and (1,0) hit the same element)
+    pinned: set[str] = set()
+    for sub in acc.subscripts:
+        assert sub is not None
+        terms = [v for v, _c in sub.coeffs if v in lvars]
+        if len(terms) == 1:
+            pinned.add(terms[0])
+    dirs = tuple("=" if v in pinned else "*" for v in lvars)
+    if all(d == "=" for d in dirs):
+        return None  # every loop pinned: each iteration writes its own element
+    return Dependence(
+        array,
+        DependenceKind.OUTPUT,
+        dirs,
+        None,
+        is_reduction=acc.in_reduction,
+    )
+
+
+def _classify(a: AccessFunction, b: AccessFunction) -> DependenceKind:
+    if a.is_write and b.is_write:
+        return DependenceKind.OUTPUT
+    if a.is_write:
+        return DependenceKind.FLOW
+    return DependenceKind.ANTI
+
+
+def _test_pair(
+    array: str, a: AccessFunction, b: AccessFunction, lvars: list[str]
+) -> Dependence | None:
+    kind = _classify(a, b)
+    reduction = _is_reduction_pair(a, b)
+
+    if not (a.is_affine and b.is_affine):
+        return Dependence(array, kind, tuple("*" for _ in lvars), None, reduction)
+
+    if a.linear_part() == b.linear_part():
+        return _uniform_pair(array, kind, a, b, lvars, reduction)
+    return _nonuniform_pair(array, kind, a, b, lvars, reduction)
+
+
+def _is_reduction_pair(a: AccessFunction, b: AccessFunction) -> bool:
+    """A read/write pair of the same reference expression — the shape of an
+    accumulation statement's self-dependence."""
+    return a.ref.indices == b.ref.indices and a.is_write != b.is_write
+
+
+def _uniform_pair(
+    array: str,
+    kind: DependenceKind,
+    a: AccessFunction,
+    b: AccessFunction,
+    lvars: list[str],
+    reduction: bool,
+) -> Dependence | None:
+    """Exact test for identical linear parts: per dimension the constraint is
+    ``L(I) + c_a = L(I') + c_b``  ⇔  ``L(Δ) = c_b - c_a`` with ``Δ = I' - I``.
+
+    For single-index subscripts this pins the distance in that index; indices
+    appearing in no subscript stay free (distance unknown, direction ``*``
+    before lexicographic normalization).
+    """
+    distance: dict[str, int] = {}
+    constrained: set[str] = set()
+    for sub_a, sub_b in zip(a.subscripts, b.subscripts):
+        assert sub_a is not None and sub_b is not None
+        delta_const = sub_b.const - sub_a.const
+        terms = [(v, c) for v, c in sub_a.coeffs if v in lvars]
+        params = [v for v, _ in sub_a.coeffs if v not in lvars]
+        if params and terms:
+            # coupled with symbolic parameters (e.g. i*N + j) — be conservative
+            return Dependence(array, kind, tuple("*" for _ in lvars), None, reduction)
+        if not terms:
+            if delta_const != 0:
+                return None  # constant subscripts differ: no dependence
+            continue
+        if len(terms) == 1:
+            v, coeff = terms[0]
+            if delta_const % coeff != 0:
+                return None  # GCD test failure in 1 variable: independent
+            d = -delta_const // coeff  # L(Δ)=c_b-c_a with source=a ⇒ Δ_v
+            if v in distance and distance[v] != d:
+                return None  # contradictory constraints: independent
+            distance[v] = d
+            constrained.add(v)
+        else:
+            # multi-variable subscript: GCD test, otherwise unknown
+            g = math.gcd(*(abs(c) for _, c in terms))
+            if delta_const % g != 0:
+                return None
+            constrained.update(v for v, _ in terms)
+            for v, _ in terms:
+                distance.pop(v, None)  # coupled: distances unknown
+
+    dist_vec: list[int | None] = []
+    dirs: list[Direction] = []
+    for v in lvars:
+        if v in distance:
+            d = distance[v]
+            dist_vec.append(d)
+            dirs.append("=" if d == 0 else ("<" if d > 0 else ">"))
+        elif v in constrained:
+            dist_vec.append(None)
+            dirs.append("*")
+        else:
+            # unconstrained loop: any distance possible (e.g. reduction loop)
+            dist_vec.append(None)
+            dirs.append("*")
+
+    if all(d == "=" for d in dirs) and a.ref.indices == b.ref.indices and kind is not DependenceKind.FLOW:
+        # the trivially-equal read/write pair within one statement instance
+        # is not a loop-carried dependence; keep only the flow variant
+        pass
+
+    dirs_n, dist_n = _normalize(dirs, dist_vec)
+    if dirs_n is None:
+        return None  # only the zero vector satisfied the system: no dependence
+    return Dependence(array, kind, tuple(dirs_n), tuple(dist_n), reduction)
+
+
+def _nonuniform_pair(
+    array: str,
+    kind: DependenceKind,
+    a: AccessFunction,
+    b: AccessFunction,
+    lvars: list[str],
+    reduction: bool,
+) -> Dependence | None:
+    """Different linear parts: disprove with a per-dimension GCD test over
+    the combined coefficient set, otherwise return a conservative direction
+    vector ('*' wherever either access involves the loop)."""
+    involved: set[str] = set()
+    for sub_a, sub_b in zip(a.subscripts, b.subscripts):
+        assert sub_a is not None and sub_b is not None
+        coeffs = [c for v, c in sub_a.coeffs if v in lvars]
+        coeffs += [c for v, c in sub_b.coeffs if v in lvars]
+        delta_const = sub_b.const - sub_a.const
+        if not coeffs:
+            if delta_const != 0:
+                return None
+            continue
+        g = math.gcd(*(abs(c) for c in coeffs))
+        if delta_const % g != 0:
+            return None
+        involved.update(v for v, _ in sub_a.coeffs if v in lvars)
+        involved.update(v for v, _ in sub_b.coeffs if v in lvars)
+    dirs = tuple("*" if v in involved else "*" for v in lvars)
+    return Dependence(array, kind, dirs, None, reduction)
+
+
+def _normalize(
+    dirs: list[Direction], dist: list[int | None]
+) -> tuple[list[Direction] | None, list[int | None]]:
+    """Lexicographically normalize so the dependence flows forward: the first
+    non-'=' entry must not be '>'.  Exact '>' leaders are flipped (swap of
+    source and sink); '*' leaders stay (they subsume both orientations).
+
+    An all-'=' exact vector describes the same statement instance — not a
+    dependence — signalled by returning ``None``."""
+    for d in dirs:
+        if d == "=":
+            continue
+        if d == ">":
+            flipped = ["<" if x == ">" else (">" if x == "<" else x) for x in dirs]
+            return flipped, [None if x is None else -x for x in dist]
+        return dirs, dist
+    # all '='
+    if all(x == 0 for x in dist if x is not None) and None not in dist:
+        return None, dist
+    return dirs, dist
+
+
+def tilable_band(nest_root: For, deps: list[Dependence] | None = None) -> list[str]:
+    """The longest prefix of the nest's loops forming a fully permutable
+    (hence tilable) band.
+
+    A band ``l_0..l_m`` is fully permutable iff every dependence has
+    non-negative direction (``=`` or ``<``) in each band loop.  Reduction
+    self-dependences are exempt: re-ordering an associative accumulation is
+    admitted, matching the paper's tiling of the mm ``k`` loop.
+    """
+    lvars = loop_vars(nest_root)
+    if deps is None:
+        deps = analyze_dependences(nest_root)
+    band: list[str] = []
+    for level, v in enumerate(lvars):
+        ok = True
+        for dep in deps:
+            if dep.is_reduction:
+                continue
+            if dep.directions[level] in (">", "*"):
+                ok = False
+                break
+        if not ok:
+            break
+        band.append(v)
+    return band
+
+
+def parallel_loops(nest_root: For, deps: list[Dependence] | None = None) -> list[str]:
+    """Loops that carry no dependence and can be marked parallel.
+
+    Loop ``l`` is parallelizable iff there is no dependence whose outermost
+    non-'=' direction entry sits at ``l`` (reduction self-dependences again
+    exempt — they are resolved by privatization, though the paper only ever
+    parallelizes genuinely independent loops)."""
+    lvars = loop_vars(nest_root)
+    if deps is None:
+        deps = analyze_dependences(nest_root)
+    out: list[str] = []
+    for level, v in enumerate(lvars):
+        carried = False
+        for dep in deps:
+            if dep.is_reduction and dep.kind is not DependenceKind.FLOW:
+                continue
+            lvl = dep.carried_level()
+            if lvl == level:
+                carried = True
+                break
+            # '*' at an outer level may also mean carried here
+            if lvl is not None and lvl < level and dep.directions[lvl] == "*":
+                if dep.directions[level] != "=":
+                    carried = True
+                    break
+        if not carried:
+            out.append(v)
+    return out

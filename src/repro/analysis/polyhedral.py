@@ -1,0 +1,279 @@
+"""Affine (polyhedral) abstractions of loop nests.
+
+The paper's analyzer performs its dependence test "based on the polyhedral
+model".  This module provides the polyhedral building blocks for the kernel
+class at hand: affine expressions over loop indices and symbolic parameters,
+per-statement iteration domains, and per-reference access functions.
+
+An :class:`AffineExpr` is a linear form ``Σ coeff_v · v + const`` with
+integer coefficients over named variables (loop indices and size parameters
+like ``N``).  Non-affine expressions are reported as such (``affine_of``
+returns ``None``) so clients can fall back to conservative handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Expr,
+    FloatLit,
+    For,
+    IntLit,
+    Node,
+    Var,
+)
+from repro.ir.visitors import collect, loop_nest
+
+__all__ = [
+    "AffineExpr",
+    "affine_of",
+    "AccessFunction",
+    "access_functions",
+    "LoopBounds",
+    "IterationDomain",
+    "iteration_domain",
+]
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``Σ coeffs[v]·v + const`` — immutable, normalized (no zero coeffs)."""
+
+    coeffs: tuple[tuple[str, int], ...]
+    const: int = 0
+
+    @staticmethod
+    def make(coeffs: dict[str, int] | None = None, const: int = 0) -> "AffineExpr":
+        items = tuple(sorted((v, c) for v, c in (coeffs or {}).items() if c != 0))
+        return AffineExpr(items, const)
+
+    @staticmethod
+    def var(name: str) -> "AffineExpr":
+        return AffineExpr.make({name: 1})
+
+    @staticmethod
+    def constant(value: int) -> "AffineExpr":
+        return AffineExpr.make({}, value)
+
+    def coeff(self, name: str) -> int:
+        for v, c in self.coeffs:
+            if v == name:
+                return c
+        return 0
+
+    @property
+    def vars(self) -> frozenset[str]:
+        return frozenset(v for v, _ in self.coeffs)
+
+    def __add__(self, other: "AffineExpr") -> "AffineExpr":
+        merged = dict(self.coeffs)
+        for v, c in other.coeffs:
+            merged[v] = merged.get(v, 0) + c
+        return AffineExpr.make(merged, self.const + other.const)
+
+    def __sub__(self, other: "AffineExpr") -> "AffineExpr":
+        return self + other.scale(-1)
+
+    def scale(self, factor: int) -> "AffineExpr":
+        return AffineExpr.make({v: c * factor for v, c in self.coeffs}, self.const * factor)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def evaluate(self, bindings: dict[str, int]) -> int:
+        total = self.const
+        for v, c in self.coeffs:
+            total += c * bindings[v]
+        return total
+
+    def restrict(self, keep: frozenset[str] | set[str]) -> "AffineExpr":
+        """Project onto the given variables (drop all other terms)."""
+        return AffineExpr.make({v: c for v, c in self.coeffs if v in keep}, self.const)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{c}*{v}" if c != 1 else v for v, c in self.coeffs]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def affine_of(expr: Expr) -> AffineExpr | None:
+    """Affine form of *expr*, or ``None`` if it is not affine.
+
+    Multiplication is affine only when one side is a constant.  Division and
+    modulo are treated as non-affine (the transformations introduce them only
+    in places the analysis never re-inspects).
+    """
+    if isinstance(expr, Var):
+        return AffineExpr.var(expr.name)
+    if isinstance(expr, IntLit):
+        return AffineExpr.constant(expr.value)
+    if isinstance(expr, FloatLit):
+        return None
+    if isinstance(expr, BinOp):
+        lhs = affine_of(expr.lhs)
+        rhs = affine_of(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            if lhs.is_constant():
+                return rhs.scale(lhs.const)
+            if rhs.is_constant():
+                return lhs.scale(rhs.const)
+            return None
+        return None
+    return None
+
+
+@dataclass(frozen=True)
+class AccessFunction:
+    """One array reference abstracted as affine subscripts.
+
+    ``subscripts[d]`` is the affine form of dimension ``d``'s index
+    expression, or ``None`` for a non-affine subscript.
+
+    :param in_reduction: the access belongs to a recognized reduction
+        statement (``X = X op e`` with the target read on the right-hand
+        side) — its self-dependences may be relaxed by transformations that
+        exploit associativity.
+    """
+
+    array: str
+    subscripts: tuple[AffineExpr | None, ...]
+    is_write: bool
+    ref: ArrayRef
+    in_reduction: bool = False
+
+    @property
+    def rank(self) -> int:
+        return len(self.subscripts)
+
+    @property
+    def is_affine(self) -> bool:
+        return all(s is not None for s in self.subscripts)
+
+    def vars(self) -> frozenset[str]:
+        out: set[str] = set()
+        for s in self.subscripts:
+            if s is not None:
+                out |= s.vars
+        return frozenset(out)
+
+    def linear_part(self) -> tuple[tuple[tuple[str, int], ...] | None, ...]:
+        """The linear coefficients per dimension (constants stripped); used
+        to detect uniformly generated reference pairs."""
+        return tuple(None if s is None else s.coeffs for s in self.subscripts)
+
+
+def access_functions(stmt: Node) -> list[AccessFunction]:
+    """Extract all access functions from the statements in *stmt*.
+
+    Writes are the assignment targets; everything else is a read.  The same
+    syntactic reference appearing on both sides (``C[i,j] = C[i,j] + ...``)
+    yields one write and one read access.
+    """
+    accesses: list[AccessFunction] = []
+    for assign in collect(stmt, Assign):
+        assert isinstance(assign, Assign)
+        reduction = isinstance(assign.target, ArrayRef) and any(
+            ref == assign.target for ref in collect(assign.value, ArrayRef)
+        )
+        if isinstance(assign.target, ArrayRef):
+            accesses.append(
+                _make_access(assign.target, is_write=True, in_reduction=reduction)
+            )
+        for ref in collect(assign.value, ArrayRef):
+            accesses.append(
+                _make_access(  # type: ignore[arg-type]
+                    ref, is_write=False, in_reduction=reduction and ref == assign.target
+                )
+            )
+    return accesses
+
+
+def _make_access(ref: ArrayRef, is_write: bool, in_reduction: bool = False) -> AccessFunction:
+    return AccessFunction(
+        array=ref.array,
+        subscripts=tuple(affine_of(ix) for ix in ref.indices),
+        is_write=is_write,
+        ref=ref,
+        in_reduction=in_reduction,
+    )
+
+
+@dataclass(frozen=True)
+class LoopBounds:
+    """One loop's half-open affine bounds ``lower <= var < upper``; ``None``
+    for non-affine bounds."""
+
+    var: str
+    lower: AffineExpr | None
+    upper: AffineExpr | None
+    step: int | None
+
+    def trip_count(self, bindings: dict[str, int]) -> int:
+        """Concrete trip count with sizes bound; requires affine bounds whose
+        free variables are all in *bindings* (i.e. rectangular loops)."""
+        if self.lower is None or self.upper is None or self.step is None:
+            raise ValueError(f"loop {self.var!r} has non-affine bounds")
+        lo = self.lower.evaluate(bindings)
+        hi = self.upper.evaluate(bindings)
+        if hi <= lo:
+            return 0
+        return -(-(hi - lo) // self.step)
+
+
+@dataclass(frozen=True)
+class IterationDomain:
+    """The (rectangular) iteration domain of a perfect loop nest."""
+
+    loops: tuple[LoopBounds, ...] = field(default=())
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def vars(self) -> tuple[str, ...]:
+        return tuple(lb.var for lb in self.loops)
+
+    def bounds(self, var: str) -> LoopBounds:
+        for lb in self.loops:
+            if lb.var == var:
+                return lb
+        raise KeyError(f"no loop {var!r} in domain")
+
+    def size(self, bindings: dict[str, int]) -> int:
+        total = 1
+        for lb in self.loops:
+            total *= lb.trip_count(bindings)
+        return total
+
+    def extent(self, var: str, bindings: dict[str, int]) -> int:
+        return self.bounds(var).trip_count(bindings)
+
+
+def iteration_domain(stmt: For) -> IterationDomain:
+    """The iteration domain of the perfect nest rooted at *stmt*."""
+    loops = []
+    for lp in loop_nest(stmt):
+        step_aff = affine_of(lp.step)
+        step = step_aff.const if step_aff is not None and step_aff.is_constant() else None
+        loops.append(
+            LoopBounds(
+                var=lp.var,
+                lower=affine_of(lp.lower),
+                upper=affine_of(lp.upper),
+                step=step,
+            )
+        )
+    return IterationDomain(tuple(loops))

@@ -1,0 +1,132 @@
+"""Tunable-region extraction — the analyzer's output fed to the optimizer.
+
+The paper (§IV): "The Analyzer searches for nested loops and performs a
+dependency test (based on the polyhedral model) to determine the largest
+subset of loops which can be tiled and optionally collapsed, without
+sacrificing the possibility of parallelizing the resulting loop."
+
+A :class:`TunableRegion` is one perfect loop nest together with its
+dependence summary, tilable band, parallelizable loops and the enclosing
+sequential sweep loops (e.g. jacobi-2d's time loop, which repeats the region
+but is itself not tuned).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dependence import (
+    Dependence,
+    analyze_dependences,
+    parallel_loops,
+    tilable_band,
+)
+from repro.analysis.polyhedral import IterationDomain, iteration_domain
+from repro.ir.nodes import Block, For, Function, Stmt
+from repro.ir.visitors import loop_nest
+
+__all__ = ["TunableRegion", "extract_regions"]
+
+
+@dataclass(frozen=True)
+class TunableRegion:
+    """One tuning target inside a function.
+
+    :param function: the enclosing kernel function.
+    :param nest: the outermost loop of the region's perfect nest.
+    :param path: structural position of ``nest`` inside the function body
+        (indices into nested Block/For bodies) so transformed regions can be
+        spliced back.
+    :param sweep_loops: vars of enclosing sequential loops repeating the
+        region (outermost first).
+    :param domain: iteration domain of the nest.
+    :param dependences: dependence summary.
+    :param tile_band: loop vars (outermost first) of the largest tilable band.
+    :param parallelizable: loop vars that may be run in parallel.
+    """
+
+    function: Function
+    nest: For
+    path: tuple[int, ...]
+    sweep_loops: tuple[str, ...]
+    domain: IterationDomain
+    dependences: tuple[Dependence, ...]
+    tile_band: tuple[str, ...]
+    parallelizable: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return f"{self.function.name}@{'.'.join(map(str, self.path)) or 'root'}"
+
+    @property
+    def depth(self) -> int:
+        return self.domain.depth
+
+    def parallel_candidate(self) -> str | None:
+        """The outermost parallelizable loop inside the tile band (the loop
+        whose tile loop the backend parallelizes after collapsing)."""
+        for v in self.tile_band:
+            if v in self.parallelizable:
+                return v
+        return None
+
+
+def extract_regions(function: Function) -> list[TunableRegion]:
+    """All tunable regions of *function*.
+
+    Walks the body; each maximal perfect nest whose tilable band is non-empty
+    becomes a region.  Loops whose bodies hold several statements/loops are
+    treated as sweep context and recursed into (jacobi-2d's time loop wraps
+    two tunable spatial nests)."""
+    regions: list[TunableRegion] = []
+
+    def visit(stmt: Stmt, path: tuple[int, ...], sweeps: tuple[str, ...]) -> None:
+        if isinstance(stmt, Block):
+            for idx, inner in enumerate(stmt.stmts):
+                visit(inner, path + (idx,), sweeps)
+            return
+        if not isinstance(stmt, For):
+            return
+        nest = loop_nest(stmt)
+        innermost_body = nest[-1].body
+        is_perfect_to_computation = not (
+            isinstance(innermost_body, Block)
+            and any(isinstance(s, For) for s in innermost_body.stmts)
+        )
+        if is_perfect_to_computation and len(nest) >= 1:
+            deps = analyze_dependences(stmt)
+            band = tilable_band(stmt, deps)
+            if band:
+                regions.append(
+                    TunableRegion(
+                        function=function,
+                        nest=stmt,
+                        path=path,
+                        sweep_loops=sweeps,
+                        domain=iteration_domain(stmt),
+                        dependences=tuple(deps),
+                        tile_band=tuple(band),
+                        parallelizable=tuple(parallel_loops(stmt, deps)),
+                    )
+                )
+                return
+        # imperfect nesting (or untilable): the chain of single-statement
+        # loops above the split point becomes sweep context
+        sweep_vars = sweeps
+        node: Stmt = stmt
+        inner_path = path
+        while isinstance(node, For):
+            body = node.body
+            if isinstance(body, Block) and any(isinstance(s, For) for s in body.stmts):
+                sweep_vars = sweep_vars + (node.var,)
+                visit(body, inner_path + (0,), sweep_vars)
+                return
+            if isinstance(body, Block) and len(body.stmts) == 1:
+                sweep_vars = sweep_vars + (node.var,)
+                node = body.stmts[0]
+                inner_path = inner_path + (0, 0)
+            else:
+                return
+
+    visit(function.body, (), ())
+    return regions

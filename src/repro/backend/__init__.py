@@ -1,0 +1,32 @@
+"""Code generation backends.
+
+The paper's backend (Fig. 3, label 5) outlines each tuned region into a
+function, generates one specialized variant per Pareto-optimal configuration
+and embeds a statically generated table of function pointers enriched with
+trade-off metadata (Fig. 6).
+
+* :mod:`repro.backend.cgen` — C + OpenMP source from IR functions,
+* :mod:`repro.backend.multiversion` — the multi-versioned C translation
+  unit with the version table,
+* :mod:`repro.backend.pygen` — executable Python functions compiled from
+  IR (used by the runtime system and the examples to really run versions),
+* :mod:`repro.backend.meta` — version metadata records shared between the
+  backends and the runtime.
+"""
+
+from repro.backend.cgen import function_to_c
+from repro.backend.meta import VersionMeta
+from repro.backend.multiversion import MultiVersionUnit, build_multiversion_c
+from repro.backend.parameterized import ParameterizedUnit, build_parameterized_c
+from repro.backend.pygen import compile_function, compile_worksharing
+
+__all__ = [
+    "function_to_c",
+    "VersionMeta",
+    "MultiVersionUnit",
+    "build_multiversion_c",
+    "compile_function",
+    "compile_worksharing",
+    "ParameterizedUnit",
+    "build_parameterized_c",
+]

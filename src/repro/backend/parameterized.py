@@ -1,0 +1,132 @@
+"""Parameterized-tiling backend — the alternative to multi-versioning.
+
+Paper §IV: "for some transformations, it would also be possible to generate
+a single, parameterized version of the code instead of performing
+multi-versioning (see e.g. [9]). However, this approach is not general, as
+there are some transformations such as loop unrolling, fission and fusion
+which can not be realized using parameterized code."
+
+This module implements that alternative so the trade-off can be measured:
+one C function whose tile sizes and thread count are runtime arguments,
+plus a parameter table holding the Pareto points and a dispatcher.  The
+benchmark ``test_ext_parameterized`` compares the two backends' code sizes;
+the generality limitation is enforced here — skeletons with an unroll
+parameter are rejected, exactly the case the paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.cgen import C_PRELUDE, _stmt_to_c
+from repro.backend.meta import VersionMeta
+from repro.ir.nodes import Param
+from repro.ir.types import ArrayType, I64
+from repro.transform.collapse import collapse
+from repro.transform.skeleton import TransformationSkeleton
+from repro.transform.tiling import tile
+
+__all__ = ["ParameterizedUnit", "build_parameterized_c"]
+
+
+@dataclass(frozen=True)
+class ParameterizedUnit:
+    """A single-function parameterized translation unit."""
+
+    kernel: str
+    source: str
+    parameters: tuple[str, ...]
+    table: tuple[VersionMeta, ...]
+
+
+def build_parameterized_c(
+    skeleton: TransformationSkeleton,
+    metas: list[VersionMeta],
+) -> ParameterizedUnit:
+    """Emit the parameterized variant of a skeleton plus its Pareto table.
+
+    :raises ValueError: if the skeleton contains transformations that are
+        not expressible with runtime parameters (unrolling).
+    """
+    if skeleton.unrollable:
+        raise ValueError(
+            "unrolling cannot be expressed as a runtime parameter "
+            "(paper section IV) — use the multi-versioning backend"
+        )
+    region = skeleton.region
+    fn = region.function
+    kernel = fn.name
+
+    tile_vars = {v: f"t_{v}" for v in skeleton.tile_band}
+    nest = tile(region.nest, dict(tile_vars))
+    if skeleton.collapse_outer >= 2 and len(skeleton.tile_band) >= skeleton.collapse_outer:
+        nest = collapse(nest, skeleton.collapse_outer)
+
+    if skeleton.parallel:
+        from repro.transform.parallelize import parallelize
+        from repro.transform.skeleton import _parallelize_inner
+        from repro.transform.tiling import tile_var
+
+        kind, pv = skeleton.parallel_spec()
+        if kind == "collapse" or pv is None:
+            nest = parallelize(nest, "nthreads")
+        else:
+            target = tile_var(str(pv)) if kind == "tile" else str(pv)
+            if nest.var == target:
+                nest = parallelize(nest, "nthreads")
+            else:
+                nest = _parallelize_inner(nest, target, "nthreads")  # type: ignore[arg-type]
+
+    from repro.transform.splice import replace_at_path
+
+    body_fn = replace_at_path(fn, region.path, nest)
+
+    # signature: original params + tile sizes + thread count
+    extra = [Param(tile_vars[v], I64) for v in skeleton.tile_band]
+    extra.append(Param("nthreads", I64))
+    decls = []
+    args = []
+    for p in list(fn.params) + extra:
+        if isinstance(p.type, ArrayType):
+            dims = "".join(f"[{d}]" for d in p.type.shape)
+            decls.append(f"{p.type.elem.cname} {p.name}{dims}")
+        else:
+            decls.append(f"{p.type.cname} {p.name}")
+        args.append(p.name)
+
+    lines = [C_PRELUDE]
+    lines.append(f"void {kernel}_parameterized({', '.join(decls)})")
+    lines.append("{")
+    lines.extend(_stmt_to_c(body_fn.body, 1, set()))
+    lines.append("}")
+
+    # the Pareto points become table rows of runtime parameters
+    param_names = tuple(tile_vars[v] for v in skeleton.tile_band) + ("nthreads",)
+    lines.append(
+        f"""
+typedef struct {{
+    long long {'; long long '.join(param_names)};
+    double time;
+    double resources;
+}} {kernel}_paramset_t;
+
+static const {kernel}_paramset_t {kernel}_paramsets[] = {{"""
+    )
+    for meta in metas:
+        tiles = dict(meta.tile_sizes)
+        row = ", ".join(str(tiles[v]) for v in skeleton.tile_band)
+        lines.append(
+            f"    {{ {row}, {meta.threads}, {meta.time!r}, {meta.resources!r} }},"
+        )
+    lines.append(
+        f"""}};
+
+enum {{ {kernel}_num_paramsets = sizeof({kernel}_paramsets) / sizeof({kernel}_paramsets[0]) }};
+"""
+    )
+    return ParameterizedUnit(
+        kernel=kernel,
+        source="\n".join(lines),
+        parameters=param_names,
+        table=tuple(metas),
+    )

@@ -1,0 +1,184 @@
+"""Python code generation: compile IR functions to executable callables.
+
+The runtime system and the examples need versions they can *actually run*.
+This backend translates an IR function into Python source (plain nested
+loops, exact IR semantics) and ``compile()``s it.  Generated callables take
+``(arrays: dict[str, np.ndarray], scalars: dict[str, int])`` and mutate the
+arrays in place.
+
+Parallel loops execute their iteration chunks via a thread pool when a
+``num_threads`` annotation is present and ``parallel=True`` is requested —
+NumPy array element writes release no useful parallelism under the GIL, so
+this is about faithfully exercising the runtime's worksharing structure, not
+speed.  The generated code is validated against the reference interpreter in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.ir.interp import INTRINSICS
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Expr,
+    FloatLit,
+    For,
+    Function,
+    IntLit,
+    Max,
+    Min,
+    Stmt,
+    UnOp,
+    Var,
+)
+from repro.ir.types import ArrayType
+
+__all__ = ["compile_function", "function_to_python"]
+
+
+def _expr(expr: Expr) -> str:
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, ArrayRef):
+        idx = ", ".join(_expr(i) for i in expr.indices)
+        return f"{expr.array}[{idx}]"
+    if isinstance(expr, BinOp):
+        return f"({_expr(expr.lhs)} {expr.op} {_expr(expr.rhs)})"
+    if isinstance(expr, UnOp):
+        return f"({expr.op}{_expr(expr.operand)})"
+    if isinstance(expr, Min):
+        return f"min({_expr(expr.lhs)}, {_expr(expr.rhs)})"
+    if isinstance(expr, Max):
+        return f"max({_expr(expr.lhs)}, {_expr(expr.rhs)})"
+    if isinstance(expr, Call):
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"_intrinsics[{expr.fn!r}]({args})"
+    raise TypeError(f"cannot lower expression {expr!r}")
+
+
+def _stmt(stmt: Stmt, indent: int, lines: list[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, Block):
+        if not stmt.stmts:
+            lines.append(pad + "pass")
+        for s in stmt.stmts:
+            _stmt(s, indent, lines)
+        return
+    if isinstance(stmt, Assign):
+        lines.append(f"{pad}{_expr(stmt.target)} = {_expr(stmt.value)}")
+        return
+    if isinstance(stmt, For):
+        lines.append(
+            f"{pad}for {stmt.var} in range({_expr(stmt.lower)}, "
+            f"{_expr(stmt.upper)}, {_expr(stmt.step)}):"
+        )
+        _stmt(stmt.body, indent + 1, lines)
+        return
+    raise TypeError(f"cannot lower statement {stmt!r}")
+
+
+def function_to_python(fn: Function, name: str | None = None) -> str:
+    """Python source text of *fn* (for inspection/debugging)."""
+    from repro.ir.simplify import simplify
+
+    fn = simplify(fn)  # type: ignore[assignment]
+    array_names = [p.name for p in fn.params if isinstance(p.type, ArrayType)]
+    scalar_names = [p.name for p in fn.params if not isinstance(p.type, ArrayType)]
+    lines = [f"def {name or fn.name}(arrays, scalars):"]
+    for a in array_names:
+        lines.append(f"    {a} = arrays[{a!r}]")
+    for s in scalar_names:
+        lines.append(f"    {s} = scalars[{s!r}]")
+    _stmt(fn.body, 1, lines)
+    return "\n".join(lines) + "\n"
+
+
+def compile_function(
+    fn: Function, name: str | None = None
+) -> Callable[[dict[str, np.ndarray], dict[str, int]], None]:
+    """Compile *fn* to a Python callable mutating its arrays in place."""
+    src = function_to_python(fn, name=name)
+    namespace: dict = {"_intrinsics": INTRINSICS, "math": math, "min": min, "max": max}
+    code = compile(src, filename=f"<pygen:{fn.name}>", mode="exec")
+    exec(code, namespace)
+    out = namespace[name or fn.name]
+    out.__source__ = src  # keep the text inspectable
+    return out
+
+
+def compile_worksharing(fn: Function, name: str | None = None):
+    """Compile *fn* into (bounds, chunk) callables for threaded execution.
+
+    The outermost parallel loop is the worksharing loop (the structure the
+    multi-versioning backend produces for the collapsed schedules).
+
+    * ``bounds(arrays, scalars) -> (lo, hi, step)`` evaluates the parallel
+      loop's range;
+    * ``chunk(arrays, scalars, lo, hi)`` executes the function with the
+      parallel loop restricted to ``[lo, hi)`` — chunks of distinct ranges
+      write disjoint data for the parallelizable schedules, so a thread
+      pool may run them concurrently (see
+      :class:`repro.evaluation.native.NativeExecutor`).
+
+    :raises ValueError: if the function has no top-level parallel loop
+        (e.g. n-body's parallel loop is nested inside the hoisted tile
+        loop — the native executor does not workshare such shapes).
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.ir.visitors import collect
+
+    parallel_loops = [
+        s for s in collect(fn.body, For) if isinstance(s, For) and s.parallel
+    ]
+    top = None
+    if isinstance(fn.body, Block):
+        for stmt in fn.body.stmts:
+            if isinstance(stmt, For) and stmt.parallel:
+                top = stmt
+                break
+    if top is None:
+        raise ValueError(
+            f"{fn.name!r} has no top-level parallel loop to workshare"
+            + (" (parallel loop is nested)" if parallel_loops else "")
+        )
+
+    base = name or fn.name
+    array_names = [p.name for p in fn.params if isinstance(p.type, ArrayType)]
+    scalar_names = [p.name for p in fn.params if not isinstance(p.type, ArrayType)]
+
+    prelude = [f"    {a} = arrays[{a!r}]" for a in array_names]
+    prelude += [f"    {s} = scalars[{s!r}]" for s in scalar_names]
+
+    bounds_lines = [f"def {base}_bounds(arrays, scalars):"]
+    bounds_lines += prelude
+    bounds_lines.append(
+        f"    return ({_expr(top.lower)}, {_expr(top.upper)}, {_expr(top.step)})"
+    )
+
+    chunked = dc_replace(top, lower=Var("_chunk_lo"), upper=Var("_chunk_hi"))
+    new_stmts = tuple(chunked if s is top else s for s in fn.body.stmts)
+    chunk_fn = Function(fn.name, fn.params, Block(new_stmts))
+    chunk_lines = [f"def {base}_chunk(arrays, scalars, _chunk_lo, _chunk_hi):"]
+    chunk_lines += prelude
+    _stmt(chunk_fn.body, 1, chunk_lines)
+
+    src = "\n".join(bounds_lines) + "\n\n" + "\n".join(chunk_lines) + "\n"
+    namespace: dict = {"_intrinsics": INTRINSICS, "math": math, "min": min, "max": max}
+    exec(compile(src, filename=f"<pygen-ws:{fn.name}>", mode="exec"), namespace)
+    bounds = namespace[f"{base}_bounds"]
+    chunk = namespace[f"{base}_chunk"]
+    bounds.__source__ = chunk.__source__ = src
+    return bounds, chunk

@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+::
+
+    python -m repro kernels
+    python -m repro machines
+    python -m repro tune mm --machine westmere --emit-c mm_tuned.c
+    python -m repro tune mm --size N=700 --energy --optimizer rsgde3 --json out.json
+    python -m repro tune-file kernel.c --size N=1400 --machine barcelona
+
+The ``tune`` commands run the full pipeline (analysis → RS-GDE3 →
+multi-versioning) against a simulated target machine and print the Pareto
+summary; ``--emit-c`` additionally writes the multi-versioned C translation
+unit and ``--json`` the machine-readable result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.driver.compiler import TuningDriver
+from repro.frontend.kernels import ALL_KERNELS, get_kernel
+from repro.machine.model import BARCELONA, WESTMERE, machine_by_name
+from repro.util.tables import Table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-objective auto-tuning framework (SC'12 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list the registered benchmark kernels")
+    sub.add_parser("machines", help="list the simulated target machines")
+
+    report = sub.add_parser(
+        "report", help="run the fast reproduction subset, write markdown"
+    )
+    report.add_argument("--out", metavar="FILE", help="write here instead of stdout")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--repetitions", type=int, default=3)
+
+    def add_tune_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--machine", default="westmere", help="westmere | barcelona")
+        p.add_argument(
+            "--size",
+            action="append",
+            default=[],
+            metavar="NAME=VALUE",
+            help="problem-size binding (repeatable), e.g. --size N=700",
+        )
+        p.add_argument(
+            "--optimizer",
+            default="rsgde3",
+            choices=["rsgde3", "nsga2", "random"],
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--energy",
+            action="store_true",
+            help="tune (time, resources, energy) instead of (time, resources)",
+        )
+        p.add_argument("--emit-c", metavar="FILE", help="write multi-versioned C here")
+        p.add_argument("--json", metavar="FILE", help="write the result as JSON here")
+
+    tune = sub.add_parser("tune", help="tune a registered kernel")
+    tune.add_argument("kernel", choices=sorted(ALL_KERNELS))
+    add_tune_options(tune)
+
+    tune_file = sub.add_parser("tune-file", help="tune a C-like source file")
+    tune_file.add_argument("path", help="file with one kernel function")
+    add_tune_options(tune_file)
+    return parser
+
+
+def _parse_sizes(entries: list[str]) -> dict[str, int]:
+    sizes = {}
+    for entry in entries:
+        if "=" not in entry:
+            raise SystemExit(f"--size expects NAME=VALUE, got {entry!r}")
+        name, _, value = entry.partition("=")
+        try:
+            sizes[name.strip()] = int(value)
+        except ValueError:
+            raise SystemExit(f"--size value must be an integer: {entry!r}") from None
+    return sizes
+
+
+def _cmd_kernels(out) -> int:
+    t = Table(["kernel", "tuned loops", "computation", "memory", "default size"])
+    for name in sorted(ALL_KERNELS):
+        k = get_kernel(name)
+        t.add_row(
+            [
+                name,
+                ",".join(k.tile_loops),
+                k.complexity[0],
+                k.complexity[1],
+                " ".join(f"{a}={b}" for a, b in k.default_size.items()),
+            ]
+        )
+    print(t.render(), file=out)
+    return 0
+
+
+def _cmd_machines(out) -> int:
+    t = Table(["machine", "sockets x cores", "L1/L2/L3", "thread counts"])
+    for m in (WESTMERE, BARCELONA):
+        t.add_row(
+            [
+                m.name,
+                f"{m.sockets} x {m.cores_per_socket}",
+                f"{m.level('L1').size // 1024}K/{m.level('L2').size // 1024}K/"
+                f"{m.level('L3').size // (1024 * 1024)}M",
+                ",".join(map(str, m.default_thread_counts())),
+            ]
+        )
+    print(t.render(), file=out)
+    return 0
+
+
+def _cmd_tune(args, out) -> int:
+    machine = machine_by_name(args.machine)
+    driver = TuningDriver(machine=machine, seed=args.seed)
+    sizes = _parse_sizes(args.size)
+
+    if args.command == "tune":
+        tuned = driver.tune_kernel(
+            args.kernel,
+            sizes=sizes or None,
+            optimizer=args.optimizer,
+            run_seed=args.seed,
+            with_energy=args.energy,
+        )
+    else:
+        source = Path(args.path).read_text()
+        if not sizes:
+            raise SystemExit("tune-file requires --size bindings for the symbolic extents")
+        tuned = driver.tune_source(
+            source, sizes=sizes, optimizer=args.optimizer, run_seed=args.seed
+        )
+
+    print(tuned.summary(), file=out)
+
+    if args.emit_c:
+        unit = tuned.emit_c()
+        Path(args.emit_c).write_text(unit.source)
+        print(f"wrote {args.emit_c} ({len(unit.versions)} versions)", file=out)
+
+    if args.json:
+        payload = {
+            "kernel": tuned.name,
+            "machine": machine.name,
+            "optimizer": args.optimizer,
+            "evaluations": tuned.result.evaluations,
+            "generations": tuned.result.generations,
+            "baseline_time": tuned.baseline_time,
+            "sequential_time": tuned.sequential_time,
+            "front": [
+                {
+                    "values": dict(c.values),
+                    "objectives": list(c.objectives),
+                }
+                for c in tuned.result.front
+            ],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=1))
+        print(f"wrote {args.json}", file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    from repro.report import generate_report
+
+    text = generate_report(repetitions=args.repetitions, seed=args.seed)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "kernels":
+        return _cmd_kernels(out)
+    if args.command == "machines":
+        return _cmd_machines(out)
+    if args.command == "report":
+        return _cmd_report(args, out)
+    return _cmd_tune(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Tuning sessions: orchestration and persistence of experiment runs.
+
+The benchmark harness re-runs multi-kernel, multi-machine experiments (the
+paper's Tables V/VI sweep five kernels on two platforms, five repetitions
+each).  A :class:`TuningSession` runs those sweeps and can persist results
+as JSON so expensive sweeps are reusable across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.driver.compiler import TuningDriver
+from repro.machine.model import MachineModel, machine_by_name
+from repro.optimizer.config import Configuration
+from repro.optimizer.rsgde3 import OptimizerResult
+
+__all__ = ["TuningSession"]
+
+
+def _result_to_json(result: OptimizerResult) -> dict:
+    return {
+        "evaluations": result.evaluations,
+        "generations": result.generations,
+        "front": [
+            {"values": dict(c.values), "objectives": list(c.objectives)}
+            for c in result.front
+        ],
+    }
+
+
+def _result_from_json(data: dict) -> OptimizerResult:
+    front = tuple(
+        Configuration.make(entry["values"], tuple(entry["objectives"]))
+        for entry in data["front"]
+    )
+    return OptimizerResult(
+        front=front,
+        evaluations=int(data["evaluations"]),
+        generations=int(data["generations"]),
+    )
+
+
+@dataclass
+class TuningSession:
+    """A collection of tuning runs with JSON persistence.
+
+    :param path: storage file; ``None`` keeps the session in memory only.
+    """
+
+    path: Path | None = None
+    runs: dict[str, dict] = field(default_factory=dict)
+
+    @staticmethod
+    def run_key(kernel: str, machine: str, optimizer: str, seed: int) -> str:
+        return f"{kernel}/{machine}/{optimizer}/seed{seed}"
+
+    # ------------------------------------------------------------------
+
+    def tune(
+        self,
+        kernel: str,
+        machine: MachineModel,
+        optimizer: str = "rsgde3",
+        seed: int = 0,
+        noise: float = 0.015,
+        force: bool = False,
+    ) -> OptimizerResult:
+        """Run (or recall) one tuning experiment."""
+        key = self.run_key(kernel, machine.name, optimizer, seed)
+        if not force and key in self.runs:
+            return _result_from_json(self.runs[key]["result"])
+        driver = TuningDriver(machine=machine, seed=seed, noise=noise)
+        tuned = driver.tune_kernel(kernel, optimizer=optimizer, run_seed=seed)
+        self.runs[key] = {
+            "kernel": kernel,
+            "machine": machine.name,
+            "optimizer": optimizer,
+            "seed": seed,
+            "result": _result_to_json(tuned.result),
+        }
+        return tuned.result
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: Path | None = None) -> Path:
+        target = Path(path or self.path or "tuning_session.json")
+        target.write_text(json.dumps({"runs": self.runs}, indent=1))
+        return target
+
+    @classmethod
+    def load(cls, path: Path) -> "TuningSession":
+        path = Path(path)
+        data = json.loads(path.read_text())
+        return cls(path=path, runs=dict(data.get("runs", {})))
+
+    def results_for(self, kernel: str, machine: str, optimizer: str) -> list[OptimizerResult]:
+        out = []
+        for key, entry in sorted(self.runs.items()):
+            if (
+                entry["kernel"] == kernel
+                and entry["machine"] == machine
+                and entry["optimizer"] == optimizer
+            ):
+                out.append(_result_from_json(entry["result"]))
+        return out

@@ -1,0 +1,57 @@
+"""The measurement protocol.
+
+Paper §V-B1: "Each of the resulting configurations has been evaluated
+multiple times and the median of the collected execution times was used for
+comparison."  :class:`MeasurementProtocol` reproduces that: k noisy samples,
+median aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.stats import median
+
+__all__ = ["Measurement", "MeasurementProtocol"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One aggregated measurement of a configuration."""
+
+    value: float
+    samples: tuple[float, ...]
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.samples)
+
+    @property
+    def spread(self) -> float:
+        """Relative spread (max-min)/median — a quick noise indicator."""
+        if not self.samples:
+            return 0.0
+        return (max(self.samples) - min(self.samples)) / self.value
+
+
+@dataclass
+class MeasurementProtocol:
+    """Median-of-k sampling.
+
+    :param repetitions: samples per configuration (the paper evaluates each
+        configuration "multiple times"; 5 is our default).
+    """
+
+    repetitions: int = 5
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+
+    def measure(self, sampler) -> Measurement:
+        """Aggregate ``repetitions`` calls of ``sampler() -> float``."""
+        samples = tuple(float(sampler()) for _ in range(self.repetitions))
+        for s in samples:
+            if s <= 0:
+                raise ValueError(f"non-positive time sample {s}")
+        return Measurement(value=median(samples), samples=samples)

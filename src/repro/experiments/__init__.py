@@ -1,0 +1,32 @@
+"""Shared experiment setups for the benchmark harness.
+
+The benchmarks under ``benchmarks/`` regenerate every table and figure of
+the paper's evaluation (Section V).  This package centralises the common
+machinery: paper-scale problem setup, brute-force sweeps with raw data
+retention, per-thread-count optima, cross-thread penalty matrices, and the
+speedup/efficiency bookkeeping of Fig. 1/8 and Tables II/III/V.
+"""
+
+from repro.experiments.setups import (
+    EXPERIMENT_KERNELS,
+    ExperimentSetup,
+    brute_force_grid,
+    make_setup,
+)
+from repro.experiments.sweeps import (
+    BruteForceSweep,
+    cross_penalty_matrix,
+    run_brute_force,
+    speedup_efficiency_rows,
+)
+
+__all__ = [
+    "EXPERIMENT_KERNELS",
+    "ExperimentSetup",
+    "make_setup",
+    "brute_force_grid",
+    "BruteForceSweep",
+    "run_brute_force",
+    "cross_penalty_matrix",
+    "speedup_efficiency_rows",
+]

@@ -1,0 +1,120 @@
+"""Brute-force sweeps and the derived paper statistics.
+
+:class:`BruteForceSweep` runs the full tile-grid × thread-count cross
+product once per (kernel, machine) and exposes the derived quantities the
+paper's tables/figures are made of:
+
+* per-thread-count optimal tiles and times (Table II left columns),
+* the cross-thread penalty matrix (Table II right columns, Table V rows),
+* speedup/efficiency/relative-resources per Pareto tip (Table III, Fig 1),
+* the raw (time, resources) cloud per thread count (Fig 8),
+* the global non-dominated front (Fig 9's brute-force curve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.setups import ExperimentSetup
+from repro.optimizer.brute_force import BruteForceData, brute_force_search
+from repro.optimizer.rsgde3 import OptimizerResult
+from repro.util.stats import relative_loss
+
+__all__ = [
+    "BruteForceSweep",
+    "run_brute_force",
+    "cross_penalty_matrix",
+    "speedup_efficiency_rows",
+]
+
+
+@dataclass
+class BruteForceSweep:
+    """A completed brute-force evaluation of one experiment setup."""
+
+    setup: ExperimentSetup
+    result: OptimizerResult
+    data: BruteForceData
+
+    @property
+    def evaluations(self) -> int:
+        return self.result.evaluations
+
+    def optimal_tiles(self) -> dict[int, tuple[dict[str, int], float]]:
+        """thread count → (best tile sizes, measured time)."""
+        out = {}
+        for thr in self.data.thread_counts():
+            values, t = self.data.best_for_threads(thr)
+            tiles = {
+                name[len("tile_"):]: v
+                for name, v in values.items()
+                if name.startswith("tile_")
+            }
+            out[thr] = (tiles, t)
+        return out
+
+    def sequential_time(self) -> float:
+        """Fastest (tiled) sequential time — the paper's ``t_s``."""
+        _, t = self.data.best_for_threads(1)
+        return t
+
+    def cloud(self, threads: int) -> tuple[np.ndarray, np.ndarray]:
+        """(times, resources) of every grid point at a thread count —
+        one 'line' of Fig 8."""
+        mask = self.data.threads == threads
+        times = self.data.times[mask]
+        return times, times * threads
+
+
+def run_brute_force(setup: ExperimentSetup, seed: int | None = None) -> BruteForceSweep:
+    problem = setup.problem(seed=seed)
+    result, data = brute_force_search(
+        problem,
+        setup.tile_grid(),
+        list(setup.thread_counts),
+        keep_data=True,
+    )
+    assert data is not None
+    return BruteForceSweep(setup=setup, result=result, data=data)
+
+
+def cross_penalty_matrix(sweep: BruteForceSweep) -> dict[int, dict[int, float]]:
+    """Table II's right half: percentage loss of running the tiles tuned
+    for thread count *a* at thread count *b*, relative to *b*'s optimum.
+
+    Uses the noise-free model times for the cross entries (re-measuring a
+    known configuration, as the paper does when re-running the binaries).
+    """
+    optima = sweep.optimal_tiles()
+    target = sweep.setup.target()
+    matrix: dict[int, dict[int, float]] = {}
+    best_time = {thr: target.true_time(tiles, thr) for thr, (tiles, _) in optima.items()}
+    for tuned_thr, (tiles, _) in optima.items():
+        row = {}
+        for run_thr in optima:
+            cross = target.true_time(tiles, run_thr)
+            row[run_thr] = relative_loss(cross, best_time[run_thr])
+        matrix[tuned_thr] = row
+    return matrix
+
+
+def speedup_efficiency_rows(sweep: BruteForceSweep) -> list[dict[str, float]]:
+    """Table III: per thread count, speedup/efficiency/relative time and
+    resources of the per-count optimum (the Pareto tips of Fig 8)."""
+    t_seq = sweep.sequential_time()
+    rows = []
+    for thr, (_tiles, t) in sorted(sweep.optimal_tiles().items()):
+        speedup = t_seq / t
+        rows.append(
+            {
+                "threads": thr,
+                "time": t,
+                "speedup": speedup,
+                "efficiency": speedup / thr,
+                "relative_time": t / t_seq,
+                "relative_resources": thr * t / t_seq,
+            }
+        )
+    return rows

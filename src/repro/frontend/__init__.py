@@ -1,0 +1,30 @@
+"""Kernel frontend: the paper's five benchmark kernels as IR, and a small
+C-like parser for user-supplied loop nests."""
+
+from repro.frontend.kernels import (
+    ALL_KERNELS,
+    EXTRA_KERNELS,
+    Kernel,
+    get_kernel,
+    kernel_names,
+    make_dsyrk,
+    make_jacobi2d,
+    make_mm,
+    make_nbody,
+    make_stencil3d,
+)
+from repro.frontend.parser import parse_function
+
+__all__ = [
+    "Kernel",
+    "ALL_KERNELS",
+    "EXTRA_KERNELS",
+    "get_kernel",
+    "kernel_names",
+    "make_mm",
+    "make_dsyrk",
+    "make_jacobi2d",
+    "make_stencil3d",
+    "make_nbody",
+    "parse_function",
+]

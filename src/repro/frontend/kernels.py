@@ -1,0 +1,512 @@
+"""The paper's five benchmark kernels (Section V) as IR functions.
+
+Each :class:`Kernel` bundles the IR, tuning metadata (which loops are tiled,
+the parallel candidate loop), the computation/memory complexity reported in
+Table IV, a NumPy reference implementation used by correctness tests of the
+transformed code, and the problem sizes used in the evaluation.
+
+Kernel inventory (paper Table IV):
+
+========== =========================== ============ ===========
+kernel     computation                  comp.        memory
+========== =========================== ============ ===========
+mm         C = A * B + C  (IJK)         O(N^3)       O(N^2)
+dsyrk      B = A * A^T + B              O(N^3)       O(N^2)
+jacobi-2d  4-point stencil sweep        O(T N^2)     O(N^2)
+3d-stencil generic 3x3x3 stencil        O(N^3)       O(N^3)
+n-body     naive all-pairs forces       O(n^2)       O(n)
+========== =========================== ============ ===========
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ir import Function
+from repro.ir.builder import array, assign, block, func, loop, param, var
+from repro.ir.nodes import Call
+from repro.ir.types import F64, I64
+
+__all__ = [
+    "Kernel",
+    "ALL_KERNELS",
+    "get_kernel",
+    "kernel_names",
+    "make_mm",
+    "make_dsyrk",
+    "make_jacobi2d",
+    "make_stencil3d",
+    "make_nbody",
+]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A tunable benchmark kernel.
+
+    :param name: registry key (``mm``, ``dsyrk``, ``jacobi2d``, ``stencil3d``,
+        ``nbody``).
+    :param function: the kernel body as an IR :class:`Function`.
+    :param tile_loops: loop indices (in nest order) whose tile sizes are
+        tuning parameters.
+    :param parallel_loop: the loop the backend parallelises (after tiling and
+        collapsing, its *tile loop* becomes the worksharing loop).
+    :param sweep_loop: an outer sequential loop that repeats the region
+        (jacobi-2d's time loop); ``None`` for single-sweep kernels.
+    :param default_size: problem-size bindings used in the paper's evaluation.
+    :param test_size: small bindings for executable correctness tests.
+    :param complexity: ``(computation, memory)`` complexity strings (Tab IV).
+    :param flops_per_point: floating-point operations per innermost iteration
+        (used by the machine cost model).
+    :param reference: NumPy reference computing the kernel output from named
+        input arrays; used to validate transformed/generated code.
+    :param make_inputs: builds named input arrays for given size bindings.
+    """
+
+    name: str
+    function: Function
+    tile_loops: tuple[str, ...]
+    parallel_loop: str | None
+    default_size: dict[str, int]
+    test_size: dict[str, int]
+    complexity: tuple[str, str]
+    flops_per_point: int
+    reference: Callable[[dict[str, np.ndarray], dict[str, int]], dict[str, np.ndarray]]
+    make_inputs: Callable[[dict[str, int], np.random.Generator], dict[str, np.ndarray]]
+    sweep_loop: str | None = None
+    output_arrays: tuple[str, ...] = field(default=())
+
+    def sizes(self, overrides: dict[str, int] | None = None) -> dict[str, int]:
+        merged = dict(self.default_size)
+        if overrides:
+            merged.update(overrides)
+        return merged
+
+
+# --------------------------------------------------------------------------
+# mm: C[i][j] += A[i][k] * B[k][j]   (Fig. 7 of the paper, IJK ordering)
+# --------------------------------------------------------------------------
+
+
+def make_mm() -> Function:
+    i, j, k = var("i"), var("j"), var("k")
+    A, B, C = var("A"), var("B"), var("C")
+    body = assign(C[i, j], C[i, j] + A[i, k] * B[k, j])
+    nest = loop("i", 0, "N", loop("j", 0, "N", loop("k", 0, "N", body)))
+    return func(
+        "mm",
+        [
+            param("N", I64),
+            array("A", "N", "N"),
+            array("B", "N", "N"),
+            array("C", "N", "N"),
+        ],
+        nest,
+    )
+
+
+def _mm_reference(arrays: dict[str, np.ndarray], sizes: dict[str, int]) -> dict[str, np.ndarray]:
+    return {"C": arrays["C"] + arrays["A"] @ arrays["B"]}
+
+
+def _mm_inputs(sizes: dict[str, int], rng: np.random.Generator) -> dict[str, np.ndarray]:
+    n = sizes["N"]
+    return {
+        "A": rng.standard_normal((n, n)),
+        "B": rng.standard_normal((n, n)),
+        "C": rng.standard_normal((n, n)),
+    }
+
+
+# --------------------------------------------------------------------------
+# dsyrk: B[i][j] += A[i][k] * A[j][k]   (B = A A^T + B; aligned accesses)
+# --------------------------------------------------------------------------
+
+
+def make_dsyrk() -> Function:
+    i, j, k = var("i"), var("j"), var("k")
+    A, B = var("A"), var("B")
+    body = assign(B[i, j], B[i, j] + A[i, k] * A[j, k])
+    nest = loop("i", 0, "N", loop("j", 0, "N", loop("k", 0, "N", body)))
+    return func(
+        "dsyrk",
+        [param("N", I64), array("A", "N", "N"), array("B", "N", "N")],
+        nest,
+    )
+
+
+def _dsyrk_reference(arrays: dict[str, np.ndarray], sizes: dict[str, int]) -> dict[str, np.ndarray]:
+    return {"B": arrays["B"] + arrays["A"] @ arrays["A"].T}
+
+
+def _dsyrk_inputs(sizes: dict[str, int], rng: np.random.Generator) -> dict[str, np.ndarray]:
+    n = sizes["N"]
+    return {"A": rng.standard_normal((n, n)), "B": rng.standard_normal((n, n))}
+
+
+# --------------------------------------------------------------------------
+# jacobi-2d: one 4-point sweep per time step, double buffered
+# --------------------------------------------------------------------------
+
+
+def make_jacobi2d() -> Function:
+    i, j = var("i"), var("j")
+    A, B = var("A"), var("B")
+    sweep = assign(
+        B[i, j],
+        (A[i - 1, j] + A[i + 1, j] + A[i, j - 1] + A[i, j + 1]) * 0.25,
+    )
+    copy = assign(A[i, j], B[i, j])
+    spatial = loop("i", 1, var("N") - 1, loop("j", 1, var("N") - 1, sweep))
+    copy_nest = loop("i", 1, var("N") - 1, loop("j", 1, var("N") - 1, copy))
+    time_loop = loop("t", 0, "T", block(spatial, copy_nest))
+    return func(
+        "jacobi2d",
+        [
+            param("N", I64),
+            param("T", I64),
+            array("A", "N", "N"),
+            array("B", "N", "N"),
+        ],
+        time_loop,
+    )
+
+
+def _jacobi2d_reference(arrays: dict[str, np.ndarray], sizes: dict[str, int]) -> dict[str, np.ndarray]:
+    a = arrays["A"].copy()
+    b = arrays["B"].copy()
+    for _ in range(sizes["T"]):
+        b[1:-1, 1:-1] = 0.25 * (a[:-2, 1:-1] + a[2:, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:])
+        a[1:-1, 1:-1] = b[1:-1, 1:-1]
+    return {"A": a, "B": b}
+
+
+def _jacobi2d_inputs(sizes: dict[str, int], rng: np.random.Generator) -> dict[str, np.ndarray]:
+    n = sizes["N"]
+    return {"A": rng.standard_normal((n, n)), "B": np.zeros((n, n))}
+
+
+# --------------------------------------------------------------------------
+# 3d-stencil: generic 3x3x3 27-point stencil
+# --------------------------------------------------------------------------
+
+
+def make_stencil3d() -> Function:
+    i, j, k = var("i"), var("j"), var("k")
+    A, B = var("A"), var("B")
+    acc = None
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            for dk in (-1, 0, 1):
+                term = A[i + di, j + dj, k + dk]
+                acc = term if acc is None else acc + term
+    body = assign(B[i, j, k], acc * (1.0 / 27.0))
+    nest = loop(
+        "i", 1, var("N") - 1,
+        loop("j", 1, var("N") - 1, loop("k", 1, var("N") - 1, body)),
+    )
+    return func(
+        "stencil3d",
+        [param("N", I64), array("A", "N", "N", "N"), array("B", "N", "N", "N")],
+        nest,
+    )
+
+
+def _stencil3d_reference(arrays: dict[str, np.ndarray], sizes: dict[str, int]) -> dict[str, np.ndarray]:
+    a = arrays["A"]
+    b = arrays["B"].copy()
+    acc = np.zeros_like(a[1:-1, 1:-1, 1:-1])
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            for dk in (-1, 0, 1):
+                acc += a[
+                    1 + di : a.shape[0] - 1 + di,
+                    1 + dj : a.shape[1] - 1 + dj,
+                    1 + dk : a.shape[2] - 1 + dk,
+                ]
+    b[1:-1, 1:-1, 1:-1] = acc / 27.0
+    return {"B": b}
+
+
+def _stencil3d_inputs(sizes: dict[str, int], rng: np.random.Generator) -> dict[str, np.ndarray]:
+    n = sizes["N"]
+    return {"A": rng.standard_normal((n, n, n)), "B": np.zeros((n, n, n))}
+
+
+# --------------------------------------------------------------------------
+# n-body: naive all-pairs force accumulation (softened gravity)
+# --------------------------------------------------------------------------
+
+
+def make_nbody() -> Function:
+    i, j = var("i"), var("j")
+    px, py, pz = var("px"), var("py"), var("pz")
+    fx, fy, fz = var("fx"), var("fy"), var("fz")
+    dx = px[j] - px[i]
+    dy = py[j] - py[i]
+    dz = pz[j] - pz[i]
+    r2 = dx * dx + dy * dy + dz * dz + 1e-9
+    inv = Call("rsqrt3", (r2,))  # (r^2)^(-3/2)
+    body = block(
+        assign(fx[i], fx[i] + dx * inv),
+        assign(fy[i], fy[i] + dy * inv),
+        assign(fz[i], fz[i] + dz * inv),
+    )
+    nest = loop("i", 0, "n", loop("j", 0, "n", body))
+    return func(
+        "nbody",
+        [
+            param("n", I64),
+            array("px", "n"),
+            array("py", "n"),
+            array("pz", "n"),
+            array("fx", "n"),
+            array("fy", "n"),
+            array("fz", "n"),
+        ],
+        nest,
+    )
+
+
+def _nbody_reference(arrays: dict[str, np.ndarray], sizes: dict[str, int]) -> dict[str, np.ndarray]:
+    px, py, pz = arrays["px"], arrays["py"], arrays["pz"]
+    dx = px[None, :] - px[:, None]
+    dy = py[None, :] - py[:, None]
+    dz = pz[None, :] - pz[:, None]
+    r2 = dx * dx + dy * dy + dz * dz + 1e-9
+    inv = r2 ** -1.5
+    return {
+        "fx": arrays["fx"] + (dx * inv).sum(axis=1),
+        "fy": arrays["fy"] + (dy * inv).sum(axis=1),
+        "fz": arrays["fz"] + (dz * inv).sum(axis=1),
+    }
+
+
+def _nbody_inputs(sizes: dict[str, int], rng: np.random.Generator) -> dict[str, np.ndarray]:
+    n = sizes["n"]
+    return {
+        "px": rng.standard_normal(n),
+        "py": rng.standard_normal(n),
+        "pz": rng.standard_normal(n),
+        "fx": np.zeros(n),
+        "fy": np.zeros(n),
+        "fz": np.zeros(n),
+    }
+
+
+# --------------------------------------------------------------------------
+# seidel-2d: Gauss-Seidel sweep — tilable but NOT parallelizable (every
+# point depends on already-updated west/north neighbours); exercises the
+# analyzer's sequential-tuning path
+# --------------------------------------------------------------------------
+
+
+def make_seidel2d() -> Function:
+    i, j = var("i"), var("j")
+    A = var("A")
+    body = assign(
+        A[i, j],
+        (A[i - 1, j] + A[i, j - 1] + A[i, j] + A[i + 1, j] + A[i, j + 1]) * 0.2,
+    )
+    spatial = loop("i", 1, var("N") - 1, loop("j", 1, var("N") - 1, body))
+    time_loop = loop("t", 0, "T", block(spatial))
+    return func(
+        "seidel2d",
+        [param("N", I64), param("T", I64), array("A", "N", "N")],
+        time_loop,
+    )
+
+
+def _seidel2d_reference(arrays: dict[str, np.ndarray], sizes: dict[str, int]) -> dict[str, np.ndarray]:
+    a = arrays["A"].copy()
+    n = sizes["N"]
+    for _ in range(sizes["T"]):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i, j] = 0.2 * (
+                    a[i - 1, j] + a[i, j - 1] + a[i, j] + a[i + 1, j] + a[i, j + 1]
+                )
+    return {"A": a}
+
+
+def _seidel2d_inputs(sizes: dict[str, int], rng: np.random.Generator) -> dict[str, np.ndarray]:
+    n = sizes["N"]
+    return {"A": rng.standard_normal((n, n))}
+
+
+# --------------------------------------------------------------------------
+# 2mm: two chained matrix products (E = A*B; F = E*C) — two tunable regions
+# in one function, the multi-region tuning scenario
+# --------------------------------------------------------------------------
+
+
+def make_2mm() -> Function:
+    i, j, k = var("i"), var("j"), var("k")
+    A, B, C, E, F = var("A"), var("B"), var("C"), var("E"), var("F")
+    first = loop(
+        "i", 0, "N",
+        loop("j", 0, "N", loop("k", 0, "N", assign(E[i, j], E[i, j] + A[i, k] * B[k, j]))),
+    )
+    second = loop(
+        "i", 0, "N",
+        loop("j", 0, "N", loop("k", 0, "N", assign(F[i, j], F[i, j] + E[i, k] * C[k, j]))),
+    )
+    return func(
+        "two_mm",
+        [
+            param("N", I64),
+            array("A", "N", "N"),
+            array("B", "N", "N"),
+            array("C", "N", "N"),
+            array("E", "N", "N"),
+            array("F", "N", "N"),
+        ],
+        first,
+        second,
+    )
+
+
+def _2mm_reference(arrays: dict[str, np.ndarray], sizes: dict[str, int]) -> dict[str, np.ndarray]:
+    e = arrays["E"] + arrays["A"] @ arrays["B"]
+    f = arrays["F"] + e @ arrays["C"]
+    return {"E": e, "F": f}
+
+
+def _2mm_inputs(sizes: dict[str, int], rng: np.random.Generator) -> dict[str, np.ndarray]:
+    n = sizes["N"]
+    return {
+        "A": rng.standard_normal((n, n)),
+        "B": rng.standard_normal((n, n)),
+        "C": rng.standard_normal((n, n)),
+        "E": np.zeros((n, n)),
+        "F": np.zeros((n, n)),
+    }
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+
+ALL_KERNELS: dict[str, Kernel] = {
+    "mm": Kernel(
+        name="mm",
+        function=make_mm(),
+        tile_loops=("i", "j", "k"),
+        parallel_loop="i",
+        default_size={"N": 1400},
+        test_size={"N": 24},
+        complexity=("O(N^3)", "O(N^2)"),
+        flops_per_point=2,
+        reference=_mm_reference,
+        make_inputs=_mm_inputs,
+        output_arrays=("C",),
+    ),
+    "dsyrk": Kernel(
+        name="dsyrk",
+        function=make_dsyrk(),
+        tile_loops=("i", "j", "k"),
+        parallel_loop="i",
+        default_size={"N": 1400},
+        test_size={"N": 20},
+        complexity=("O(N^3)", "O(N^2)"),
+        flops_per_point=2,
+        reference=_dsyrk_reference,
+        make_inputs=_dsyrk_inputs,
+        output_arrays=("B",),
+    ),
+    "jacobi2d": Kernel(
+        name="jacobi2d",
+        function=make_jacobi2d(),
+        tile_loops=("i", "j"),
+        parallel_loop="i",
+        sweep_loop="t",
+        default_size={"N": 4000, "T": 100},
+        test_size={"N": 18, "T": 3},
+        complexity=("O(T N^2)", "O(N^2)"),
+        flops_per_point=4,
+        reference=_jacobi2d_reference,
+        make_inputs=_jacobi2d_inputs,
+        output_arrays=("A", "B"),
+    ),
+    "stencil3d": Kernel(
+        name="stencil3d",
+        function=make_stencil3d(),
+        tile_loops=("i", "j", "k"),
+        parallel_loop="i",
+        default_size={"N": 350},
+        test_size={"N": 10},
+        complexity=("O(N^3)", "O(N^3)"),
+        flops_per_point=27,
+        reference=_stencil3d_reference,
+        make_inputs=_stencil3d_inputs,
+        output_arrays=("B",),
+    ),
+    "nbody": Kernel(
+        name="nbody",
+        function=make_nbody(),
+        # cache blocking of the reduction dimension only: the j tile loop is
+        # hoisted above the (parallel) i loop; tiling i would throttle the
+        # worksharing iteration count for no locality gain
+        tile_loops=("j",),
+        parallel_loop="i",
+        default_size={"n": 60000},
+        test_size={"n": 32},
+        complexity=("O(n^2)", "O(n)"),
+        flops_per_point=17,
+        reference=_nbody_reference,
+        make_inputs=_nbody_inputs,
+        output_arrays=("fx", "fy", "fz"),
+    ),
+}
+
+
+#: kernels beyond the paper's evaluation set, used by the extended tests
+#: and the multi-region machinery (kept out of ALL_KERNELS so the paper's
+#: five-kernel experiment sweeps stay exactly the paper's)
+EXTRA_KERNELS: dict[str, Kernel] = {
+    "seidel2d": Kernel(
+        name="seidel2d",
+        function=make_seidel2d(),
+        tile_loops=("i", "j"),
+        parallel_loop=None,
+        default_size={"N": 2000, "T": 50},
+        test_size={"N": 12, "T": 2},
+        complexity=("O(T N^2)", "O(N^2)"),
+        flops_per_point=5,
+        reference=_seidel2d_reference,
+        make_inputs=_seidel2d_inputs,
+        sweep_loop="t",
+        output_arrays=("A",),
+    ),
+    "2mm": Kernel(
+        name="2mm",
+        function=make_2mm(),
+        tile_loops=("i", "j", "k"),
+        parallel_loop="i",
+        default_size={"N": 900},
+        test_size={"N": 14},
+        complexity=("O(N^3)", "O(N^2)"),
+        flops_per_point=2,
+        reference=_2mm_reference,
+        make_inputs=_2mm_inputs,
+        output_arrays=("E", "F"),
+    ),
+}
+
+
+def get_kernel(name: str) -> Kernel:
+    if name in EXTRA_KERNELS:
+        return EXTRA_KERNELS[name]
+    try:
+        return ALL_KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(ALL_KERNELS)}"
+        ) from None
+
+
+def kernel_names() -> list[str]:
+    return list(ALL_KERNELS)

@@ -1,0 +1,296 @@
+"""A small C-like frontend for user-supplied loop nests.
+
+This is the "input code is loaded by the compiler" step (label 1 in the
+paper's Fig. 3).  The accepted language is the kernel class the tuner
+operates on::
+
+    void mm(int N, double A[N][N], double B[N][N], double C[N][N]) {
+        for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++)
+                for (int k = 0; k < N; k++)
+                    C[i][j] += A[i][k] * B[k][j];
+    }
+
+Supported: ``int``/``long``/``float``/``double`` scalars, array parameters
+with symbolic extents, ``for`` loops (``<`` condition; ``++``/``+=`` step),
+assignment and compound assignment (``+=``, ``-=``, ``*=``), arithmetic
+expressions, function calls, parenthesised sub-expressions, and both braced
+and single-statement loop bodies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ir.builder import block
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Expr,
+    FloatLit,
+    For,
+    Function,
+    IntLit,
+    Param,
+    Stmt,
+    Var,
+)
+from repro.ir.types import F32, F64, I32, I64, ArrayType, ScalarType
+
+__all__ = ["parse_function", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised when the input does not conform to the accepted subset."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*|/\*.*?\*/)
+  | (?P<num>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op>\+\+|--|\+=|-=|\*=|/=|<=|>=|==|!=|[-+*/%<>=(){}\[\];,])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_SCALAR_TYPES: dict[str, ScalarType] = {
+    "int": I32,
+    "long": I64,
+    "float": F32,
+    "double": F64,
+}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(src: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if not m:
+            raise ParseError(f"unexpected character {src[pos]!r} at offset {pos}")
+        pos = m.end()
+        kind = m.lastgroup or ""
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, m.group(), m.start()))
+    tokens.append(_Token("eof", "", len(src)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, src: str) -> None:
+        self.tokens = _tokenize(src)
+        self.i = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def cur(self) -> _Token:
+        return self.tokens[self.i]
+
+    def advance(self) -> _Token:
+        tok = self.cur
+        self.i += 1
+        return tok
+
+    def accept(self, text: str) -> bool:
+        if self.cur.text == text and self.cur.kind in ("op", "name"):
+            self.i += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> _Token:
+        if self.cur.text != text:
+            raise ParseError(
+                f"expected {text!r} but found {self.cur.text!r} at offset {self.cur.pos}"
+            )
+        return self.advance()
+
+    def expect_name(self) -> str:
+        if self.cur.kind != "name":
+            raise ParseError(
+                f"expected identifier, found {self.cur.text!r} at offset {self.cur.pos}"
+            )
+        return self.advance().text
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_function(self) -> Function:
+        ret = self.expect_name()
+        if ret != "void":
+            raise ParseError(f"kernels must return void, got {ret!r}")
+        name = self.expect_name()
+        self.expect("(")
+        params: list[Param] = []
+        if not self.accept(")"):
+            while True:
+                params.append(self._parse_param())
+                if self.accept(")"):
+                    break
+                self.expect(",")
+        body = self._parse_block()
+        if self.cur.kind != "eof":
+            raise ParseError(f"trailing input at offset {self.cur.pos}")
+        return Function(name, tuple(params), body)
+
+    def _parse_param(self) -> Param:
+        base = self.expect_name()
+        while self.cur.kind == "name" and self.cur.text in ("long", "int"):
+            # allow "long long", "long int"
+            self.advance()
+            base = "long"
+        if base not in _SCALAR_TYPES:
+            raise ParseError(f"unknown type {base!r}")
+        scalar = _SCALAR_TYPES[base]
+        name = self.expect_name()
+        shape: list[int | str] = []
+        while self.accept("["):
+            if self.cur.kind == "num":
+                shape.append(int(self.advance().text))
+            else:
+                shape.append(self.expect_name())
+            self.expect("]")
+        if shape:
+            return Param(name, ArrayType(scalar, tuple(shape)))
+        return Param(name, scalar)
+
+    def _parse_block(self) -> Block:
+        self.expect("{")
+        stmts: list[Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self._parse_statement())
+        return block(*stmts)
+
+    def _parse_statement(self) -> Stmt:
+        if self.cur.text == "for":
+            return self._parse_for()
+        if self.cur.text == "{":
+            return self._parse_block()
+        return self._parse_assignment()
+
+    def _parse_for(self) -> For:
+        self.expect("for")
+        self.expect("(")
+        if self.cur.text in _SCALAR_TYPES:
+            self.advance()  # loop index declaration type
+        index = self.expect_name()
+        self.expect("=")
+        lower = self._parse_expr()
+        self.expect(";")
+        cond_var = self.expect_name()
+        if cond_var != index:
+            raise ParseError(f"loop condition must test {index!r}, found {cond_var!r}")
+        if self.cur.text == "<":
+            self.advance()
+            upper = self._parse_expr()
+        elif self.cur.text == "<=":
+            self.advance()
+            upper = BinOp("+", self._parse_expr(), IntLit(1))
+        else:
+            raise ParseError(f"unsupported loop condition operator {self.cur.text!r}")
+        self.expect(";")
+        step: Expr
+        inc_var = self.expect_name()
+        if inc_var != index:
+            raise ParseError(f"loop increment must update {index!r}")
+        if self.accept("++"):
+            step = IntLit(1)
+        elif self.accept("+="):
+            step = self._parse_expr()
+        else:
+            raise ParseError(f"unsupported loop increment {self.cur.text!r}")
+        self.expect(")")
+        if self.cur.text == "{":
+            body: Stmt = self._parse_block()
+        else:
+            body = self._parse_statement()
+        if not isinstance(body, Block):
+            body = Block((body,))
+        return For(index, lower, upper, step, body)
+
+    def _parse_assignment(self) -> Assign:
+        target = self._parse_primary()
+        if not isinstance(target, (ArrayRef, Var)):
+            raise ParseError("assignment target must be a variable or array element")
+        op_tok = self.advance()
+        value: Expr
+        if op_tok.text == "=":
+            value = self._parse_expr()
+        elif op_tok.text in ("+=", "-=", "*=", "/="):
+            rhs = self._parse_expr()
+            value = BinOp(op_tok.text[0], target, rhs)
+        else:
+            raise ParseError(f"expected assignment operator, got {op_tok.text!r}")
+        self.expect(";")
+        return Assign(target, value)
+
+    # expression grammar: additive > multiplicative > unary > primary
+
+    def _parse_expr(self) -> Expr:
+        node = self._parse_term()
+        while self.cur.text in ("+", "-"):
+            op = self.advance().text
+            node = BinOp(op, node, self._parse_term())
+        return node
+
+    def _parse_term(self) -> Expr:
+        node = self._parse_unary()
+        while self.cur.text in ("*", "/", "%"):
+            op = self.advance().text
+            node = BinOp(op, node, self._parse_unary())
+        return node
+
+    def _parse_unary(self) -> Expr:
+        if self.accept("-"):
+            return BinOp("-", IntLit(0), self._parse_unary())
+        if self.accept("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        tok = self.cur
+        if tok.kind == "num":
+            self.advance()
+            if "." in tok.text or "e" in tok.text or "E" in tok.text:
+                return FloatLit(float(tok.text))
+            return IntLit(int(tok.text))
+        if tok.kind == "name":
+            name = self.advance().text
+            if self.accept("("):
+                args: list[Expr] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if self.accept(")"):
+                            break
+                        self.expect(",")
+                return Call(name, tuple(args))
+            if self.cur.text == "[":
+                indices: list[Expr] = []
+                while self.accept("["):
+                    indices.append(self._parse_expr())
+                    self.expect("]")
+                return ArrayRef(name, tuple(indices))
+            return Var(name)
+        if self.accept("("):
+            node = self._parse_expr()
+            self.expect(")")
+            return node
+        raise ParseError(f"unexpected token {tok.text!r} at offset {tok.pos}")
+
+
+def parse_function(source: str) -> Function:
+    """Parse a single kernel function from C-like source into IR."""
+    return _Parser(source).parse_function()

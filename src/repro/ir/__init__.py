@@ -1,0 +1,86 @@
+"""A compact loop-nest intermediate representation (INSPIRE analogue).
+
+The paper's framework is built on Insieme's INSPIRE IR.  For the tuning
+pipeline only a small, well-defined slice of such an IR is needed: functions
+over scalar/array parameters whose bodies are (possibly imperfect) loop nests
+with affine array subscripts.  This package provides exactly that slice:
+
+* :mod:`repro.ir.types` — scalar and array types,
+* :mod:`repro.ir.nodes` — immutable expression/statement nodes,
+* :mod:`repro.ir.builder` — concise construction helpers,
+* :mod:`repro.ir.visitors` — traversal, rewriting and substitution,
+* :mod:`repro.ir.printer` — C-like pretty printing.
+
+All nodes are immutable; transformations produce new trees.
+"""
+
+from repro.ir.types import F64, I64, ArrayType, ScalarType
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Expr,
+    FloatLit,
+    For,
+    Function,
+    IntLit,
+    Max,
+    Min,
+    Node,
+    Param,
+    Stmt,
+    UnOp,
+    Var,
+)
+from repro.ir.builder import array, block, c, f, loop, param, var
+from repro.ir.visitors import (
+    collect,
+    free_vars,
+    loop_nest,
+    perfect_nest,
+    substitute,
+    transform,
+    walk,
+)
+from repro.ir.printer import to_source
+
+__all__ = [
+    "F64",
+    "I64",
+    "ArrayType",
+    "ScalarType",
+    "Node",
+    "Expr",
+    "Stmt",
+    "Var",
+    "IntLit",
+    "FloatLit",
+    "BinOp",
+    "UnOp",
+    "Min",
+    "Max",
+    "Call",
+    "ArrayRef",
+    "Assign",
+    "Block",
+    "For",
+    "Param",
+    "Function",
+    "array",
+    "block",
+    "c",
+    "f",
+    "loop",
+    "param",
+    "var",
+    "walk",
+    "collect",
+    "transform",
+    "substitute",
+    "free_vars",
+    "loop_nest",
+    "perfect_nest",
+    "to_source",
+]

@@ -1,0 +1,86 @@
+"""Concise constructors for IR trees.
+
+Kernels read close to their mathematical definition:
+
+>>> i, j, k, N = var("i"), var("j"), var("k"), var("N")
+>>> body = assign(var("C")[i, j], var("C")[i, j] + var("A")[i, k] * var("B")[k, j])
+>>> nest = loop("i", 0, N, loop("j", 0, N, loop("k", 0, N, body)))
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    Assign,
+    Block,
+    Expr,
+    For,
+    Function,
+    Param,
+    Stmt,
+    Var,
+    as_expr,
+)
+from repro.ir.types import ArrayType, ScalarType, F64
+
+__all__ = ["var", "c", "f", "loop", "block", "assign", "param", "array", "func"]
+
+
+def var(name: str) -> Var:
+    return Var(name)
+
+
+def c(value: int) -> Expr:
+    """Integer literal."""
+    return as_expr(int(value))
+
+
+def f(value: float) -> Expr:
+    """Float literal."""
+    return as_expr(float(value))
+
+
+def assign(target: Expr, value: Expr | int | float) -> Assign:
+    return Assign(target, as_expr(value))
+
+
+def block(*stmts: Stmt) -> Block:
+    """Flatten nested blocks while building."""
+    flat: list[Stmt] = []
+    for s in stmts:
+        if isinstance(s, Block):
+            flat.extend(s.stmts)
+        else:
+            flat.append(s)
+    return Block(tuple(flat))
+
+
+def loop(
+    index: str,
+    lower: Expr | int,
+    upper: Expr | int | str,
+    body: Stmt,
+    step: Expr | int = 1,
+    parallel: bool = False,
+) -> For:
+    if isinstance(upper, str):
+        upper = Var(upper)
+    return For(
+        var=index,
+        lower=as_expr(lower),
+        upper=as_expr(upper),
+        step=as_expr(step),
+        body=body if isinstance(body, Block) else Block((body,)),
+        parallel=parallel,
+    )
+
+
+def param(name: str, type_: ScalarType | ArrayType) -> Param:
+    return Param(name, type_)
+
+
+def array(name: str, *shape: int | str, elem: ScalarType = F64) -> Param:
+    return Param(name, ArrayType(elem, tuple(shape)))
+
+
+def func(name: str, params: list[Param], *stmts: Stmt) -> Function:
+    return Function(name, tuple(params), block(*stmts))

@@ -1,0 +1,191 @@
+"""A reference interpreter for the loop-nest IR.
+
+Executes kernels directly on NumPy arrays.  It is deliberately simple and
+slow — its job is to define the IR's semantics so that transformations
+(tiling, collapsing, unrolling) can be validated by comparing interpreter
+output before and after the rewrite, and generated code can be validated
+against the interpreter.
+
+Parallel loops are executed sequentially (the simulated machine models the
+timing; semantics of the kernels in scope are schedule independent).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Expr,
+    FloatLit,
+    For,
+    Function,
+    IntLit,
+    Max,
+    Min,
+    Stmt,
+    UnOp,
+    Var,
+)
+from repro.ir.types import ArrayType
+
+__all__ = ["run_function", "eval_expr", "INTRINSICS"]
+
+#: intrinsic function table shared with the generated-Python backend
+INTRINSICS = {
+    "sqrt": math.sqrt,
+    "rsqrt": lambda x: 1.0 / math.sqrt(x),
+    "rsqrt3": lambda x: x ** -1.5,
+    "exp": math.exp,
+    "log": math.log,
+    "abs": abs,
+    "min": min,
+    "max": max,
+}
+
+
+def run_function(
+    fn: Function,
+    arrays: Mapping[str, np.ndarray],
+    scalars: Mapping[str, int] | None = None,
+    copy: bool = True,
+    trace_hook=None,
+) -> dict[str, np.ndarray]:
+    """Execute *fn*; returns the (possibly updated) arrays.
+
+    :param arrays: named array arguments; validated against declared ranks.
+    :param scalars: values for the scalar parameters (problem sizes).
+    :param copy: when true (default), inputs are copied so callers keep
+        their originals.
+    :param trace_hook: optional ``hook(array_name, indices)`` invoked for
+        every array element access in execution order — the address-trace
+        source for the cache-simulator validation of the cost model.
+    """
+    scalars = dict(scalars or {})
+    env: dict[str, object] = dict(scalars)
+    bound: dict[str, np.ndarray] = {}
+    for p in fn.params:
+        if isinstance(p.type, ArrayType):
+            if p.name not in arrays:
+                raise KeyError(f"missing array argument {p.name!r}")
+            arr = np.asarray(arrays[p.name], dtype=float)
+            if arr.ndim != p.type.rank:
+                raise ValueError(
+                    f"array {p.name!r}: expected rank {p.type.rank}, got {arr.ndim}"
+                )
+            bound[p.name] = arr.copy() if copy else arr
+        else:
+            if p.name not in scalars:
+                raise KeyError(f"missing scalar argument {p.name!r}")
+            env[p.name] = int(scalars[p.name])
+    _exec_stmt(fn.body, env, bound, trace_hook)
+    return bound
+
+
+def _exec_stmt(
+    stmt: Stmt,
+    env: dict[str, object],
+    arrays: dict[str, np.ndarray],
+    trace_hook=None,
+) -> None:
+    if isinstance(stmt, Block):
+        for s in stmt.stmts:
+            _exec_stmt(s, env, arrays, trace_hook)
+        return
+    if isinstance(stmt, For):
+        lower = int(eval_expr(stmt.lower, env, arrays))
+        upper = int(eval_expr(stmt.upper, env, arrays))
+        step = int(eval_expr(stmt.step, env, arrays))
+        if step <= 0:
+            raise ValueError(f"loop {stmt.var!r}: non-positive step {step}")
+        saved = env.get(stmt.var, _MISSING)
+        for value in range(lower, upper, step):
+            env[stmt.var] = value
+            _exec_stmt(stmt.body, env, arrays, trace_hook)
+        if saved is _MISSING:
+            env.pop(stmt.var, None)
+        else:
+            env[stmt.var] = saved
+        return
+    if isinstance(stmt, Assign):
+        value = eval_expr(stmt.value, env, arrays, trace_hook)
+        target = stmt.target
+        if isinstance(target, ArrayRef):
+            idx = tuple(int(eval_expr(ix, env, arrays)) for ix in target.indices)
+            arrays[target.array][idx] = value
+            if trace_hook is not None:
+                trace_hook(target.array, idx)
+        elif isinstance(target, Var):
+            env[target.name] = value
+        return
+    raise TypeError(f"cannot execute statement {stmt!r}")
+
+
+_MISSING = object()
+
+
+def eval_expr(
+    expr: Expr,
+    env: Mapping[str, object],
+    arrays: Mapping[str, np.ndarray],
+    trace_hook=None,
+):
+    if isinstance(expr, IntLit):
+        return expr.value
+    if isinstance(expr, FloatLit):
+        return expr.value
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise NameError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, ArrayRef):
+        idx = tuple(int(eval_expr(ix, env, arrays, trace_hook)) for ix in expr.indices)
+        if trace_hook is not None:
+            trace_hook(expr.array, idx)
+        return arrays[expr.array][idx]
+    if isinstance(expr, BinOp):
+        lhs = eval_expr(expr.lhs, env, arrays, trace_hook)
+        rhs = eval_expr(expr.rhs, env, arrays, trace_hook)
+        op = expr.op
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return lhs / rhs
+        if op == "//":
+            return lhs // rhs
+        if op == "%":
+            return lhs % rhs
+        raise ValueError(f"unknown operator {op!r}")
+    if isinstance(expr, Min):
+        return min(
+            eval_expr(expr.lhs, env, arrays, trace_hook),
+            eval_expr(expr.rhs, env, arrays, trace_hook),
+        )
+    if isinstance(expr, Max):
+        return max(
+            eval_expr(expr.lhs, env, arrays, trace_hook),
+            eval_expr(expr.rhs, env, arrays, trace_hook),
+        )
+    if isinstance(expr, UnOp):
+        val = eval_expr(expr.operand, env, arrays, trace_hook)
+        if expr.op == "-":
+            return -val
+        raise ValueError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, Call):
+        fn = INTRINSICS.get(expr.fn)
+        if fn is None:
+            raise NameError(f"unknown intrinsic {expr.fn!r}")
+        return fn(*(eval_expr(a, env, arrays, trace_hook) for a in expr.args))
+    raise TypeError(f"cannot evaluate expression {expr!r}")

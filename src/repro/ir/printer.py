@@ -1,0 +1,92 @@
+"""C-like pretty printer for IR trees.
+
+Used for debugging, tests and as the shared expression printer of the C
+backend (:mod:`repro.backend.cgen` delegates expression formatting here).
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    Expr,
+    FloatLit,
+    For,
+    Function,
+    IntLit,
+    Max,
+    Min,
+    Node,
+    UnOp,
+    Var,
+)
+from repro.ir.types import ArrayType
+
+__all__ = ["to_source", "expr_to_source"]
+
+_PREC = {"+": 10, "-": 10, "*": 20, "/": 20, "%": 20, "//": 20}
+
+
+def expr_to_source(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression; parenthesising only where precedence needs it."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, FloatLit):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "inf" in text) else text + ".0"
+    if isinstance(expr, ArrayRef):
+        return expr.array + "".join(f"[{expr_to_source(i)}]" for i in expr.indices)
+    if isinstance(expr, BinOp):
+        op = "/" if expr.op == "//" else expr.op
+        prec = _PREC[expr.op]
+        lhs = expr_to_source(expr.lhs, prec)
+        rhs = expr_to_source(expr.rhs, prec + 1)  # left-assoc
+        text = f"{lhs} {op} {rhs}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, UnOp):
+        return f"{expr.op}({expr_to_source(expr.operand)})"
+    if isinstance(expr, Min):
+        return f"min({expr_to_source(expr.lhs)}, {expr_to_source(expr.rhs)})"
+    if isinstance(expr, Max):
+        return f"max({expr_to_source(expr.lhs)}, {expr_to_source(expr.rhs)})"
+    if isinstance(expr, Call):
+        args = ", ".join(expr_to_source(a) for a in expr.args)
+        return f"{expr.fn}({args})"
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def to_source(node: Node, indent: int = 0) -> str:
+    """Render any IR node as readable C-like pseudocode."""
+    pad = "    " * indent
+    if isinstance(node, Expr):
+        return pad + expr_to_source(node)
+    if isinstance(node, Assign):
+        return f"{pad}{expr_to_source(node.target)} = {expr_to_source(node.value)};"
+    if isinstance(node, Block):
+        return "\n".join(to_source(s, indent) for s in node.stmts)
+    if isinstance(node, For):
+        head = (
+            f"{pad}{'parallel ' if node.parallel else ''}for ({node.var} = "
+            f"{expr_to_source(node.lower)}; {node.var} < {expr_to_source(node.upper)}; "
+            f"{node.var} += {expr_to_source(node.step)}) {{"
+        )
+        anns = dict(node.annotations)
+        if anns:
+            head += f"  // {anns}"
+        return head + "\n" + to_source(node.body, indent + 1) + f"\n{pad}}}"
+    if isinstance(node, Function):
+        params = []
+        for p in node.params:
+            if isinstance(p.type, ArrayType):
+                dims = "".join(f"[{d}]" for d in p.type.shape)
+                params.append(f"{p.type.elem.cname} {p.name}{dims}")
+            else:
+                params.append(f"{p.type.cname} {p.name}")
+        head = f"{pad}void {node.name}({', '.join(params)}) {{"
+        return head + "\n" + to_source(node.body, indent + 1) + f"\n{pad}}}"
+    raise TypeError(f"cannot print node {node!r}")

@@ -1,0 +1,69 @@
+"""Type system for the loop-nest IR.
+
+Only what the tuned kernel class needs: sized scalar types and
+multi-dimensional arrays with (possibly symbolic) extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ScalarType", "ArrayType", "F64", "F32", "I64", "I32"]
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """A primitive machine type.
+
+    :param name: IR-level name (also used by the C backend via ``cname``).
+    :param size: size in bytes, used by footprint/traffic models.
+    :param cname: spelling in emitted C code.
+    """
+
+    name: str
+    size: int
+    cname: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+F64 = ScalarType("f64", 8, "double")
+F32 = ScalarType("f32", 4, "float")
+I64 = ScalarType("i64", 8, "long long")
+I32 = ScalarType("i32", 4, "int")
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """An N-dimensional array of scalars.
+
+    Extents are either integers or names of integer parameters of the
+    enclosing function (symbolic problem sizes such as ``N``).
+    """
+
+    elem: ScalarType
+    shape: tuple[int | str, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def elem_count(self, bindings: dict[str, int] | None = None) -> int:
+        """Total number of elements with symbolic extents resolved via
+        *bindings*; raises ``KeyError`` for unresolved symbols."""
+        total = 1
+        for dim in self.shape:
+            if isinstance(dim, str):
+                if bindings is None:
+                    raise KeyError(f"unbound array extent {dim!r}")
+                dim = bindings[dim]
+            total *= int(dim)
+        return total
+
+    def byte_size(self, bindings: dict[str, int] | None = None) -> int:
+        return self.elem_count(bindings) * self.elem.size
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        dims = "][".join(str(d) for d in self.shape)
+        return f"{self.elem}[{dims}]"

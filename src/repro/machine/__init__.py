@@ -1,0 +1,38 @@
+"""Simulated target platforms.
+
+The paper evaluates on two real machines (Table I): a 4-socket Intel Xeon
+E7-4870 ("Westmere", 40 cores, 30 MB shared L3 per socket) and an 8-socket
+AMD Opteron 8356 ("Barcelona", 32 cores, 2 MB shared L3 per socket).  This
+environment has one core, so the machines are modeled: a
+:class:`~repro.machine.model.MachineModel` captures the cache hierarchy,
+per-core and shared bandwidths and parallel overheads that the analytical
+cost model (:mod:`repro.evaluation.cost`) turns into execution-time
+predictions, and :mod:`repro.machine.cache` provides a trace-driven
+set-associative cache simulator used to validate those predictions in-repo.
+"""
+
+from repro.machine.model import (
+    BARCELONA,
+    LAPTOP,
+    SERVER2S,
+    WESTMERE,
+    CacheLevel,
+    MachineModel,
+    machine_by_name,
+)
+from repro.machine.topology import ThreadPlacement, place_threads
+from repro.machine.cache import CacheHierarchy, CacheSim
+
+__all__ = [
+    "CacheLevel",
+    "MachineModel",
+    "WESTMERE",
+    "BARCELONA",
+    "LAPTOP",
+    "SERVER2S",
+    "machine_by_name",
+    "ThreadPlacement",
+    "place_threads",
+    "CacheSim",
+    "CacheHierarchy",
+]

@@ -1,0 +1,229 @@
+"""Machine descriptions of the paper's two evaluation platforms (Table I).
+
+The parameters fall into three groups:
+
+* *documented* — socket/core counts and cache geometry straight from
+  Table I of the paper (plus vendor datasheets for line sizes and
+  associativity);
+* *derived* — clock rates and per-core issue width of the two
+  processors (Xeon E7-4870: 2.4 GHz; Opteron 8356: 2.3 GHz);
+* *calibrated* — bandwidth and overhead constants chosen so the cost
+  model reproduces the qualitative behaviour the paper reports
+  (tiling headroom over -O3, efficiency decay with thread count,
+  cache-capacity-driven tile-size shifts).  Absolute times are *not*
+  expected to match the paper — only the shapes (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheLevel", "MachineModel", "WESTMERE", "BARCELONA", "machine_by_name"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy.
+
+    :param name: "L1", "L2", "L3".
+    :param size: capacity in bytes (per core for private levels, per socket
+        for shared ones).
+    :param line_size: cache line size in bytes.
+    :param assoc: associativity (used by the trace-driven simulator).
+    :param shared: whether the level is shared among the cores of a socket.
+    :param fetch_bw: per-core bandwidth for fetching into this level from
+        the level below, in bytes/second (calibrated).
+    """
+
+    name: str
+    size: int
+    line_size: int
+    assoc: int
+    shared: bool
+    fetch_bw: float
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A shared-memory multiprocessor target.
+
+    :param freq_hz: core clock.
+    :param flops_per_cycle: sustained double-precision flops per cycle per
+        core for compiler-generated scalar/SSE loop code (calibrated — not
+        the theoretical peak).
+    :param levels: cache hierarchy, L1 first.
+    :param dram_bw_per_socket: DRAM bandwidth available to one socket.
+    :param dram_bw_per_core: DRAM bandwidth a single core can extract.
+    :param loop_overhead_cycles: bookkeeping cycles per iteration of
+        *non-innermost* loops (innermost-loop bookkeeping is folded into the
+        sustained ``flops_per_cycle``).
+    :param loop_entry_cycles: cycles per loop entry (bound computation,
+        e.g. the ``min`` in tiled point loops) — what penalises very small
+        innermost tiles.
+    :param smp_tax: relative slowdown when a socket is fully populated
+        (cache-coherence and shared-resource contention within a chip).
+    :param numa_tax: additional relative slowdown per extra active socket
+        (snoop broadcasts, cross-socket coherence).  Together with DRAM
+        saturation these produce the paper's efficiency decay (Table III).
+    :param fork_join_base: seconds per parallel-region invocation.
+    :param fork_join_per_thread: additional seconds per involved thread.
+    :param tlb_entries: effective data-TLB reach in pages (per core); column
+        walks through large tiles thrash it, which is the mechanism keeping
+        the innermost tile size small on real hardware.
+    :param page_size: bytes per page.
+    :param tlb_miss_cycles: average page-walk cost.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    freq_hz: float
+    flops_per_cycle: float
+    levels: tuple[CacheLevel, ...]
+    dram_bw_per_socket: float
+    dram_bw_per_core: float
+    loop_overhead_cycles: float = 1.5
+    loop_entry_cycles: float = 3.0
+    smp_tax: float = 0.08
+    numa_tax: float = 0.04
+    fork_join_base: float = 4.0e-6
+    fork_join_per_thread: float = 0.3e-6
+    tlb_entries: int = 128
+    page_size: int = 4096
+    tlb_miss_cycles: float = 20.0
+    #: fraction of the smaller of (compute, memory) time that does NOT
+    #: overlap with the larger — 0 is a pure roofline, 1 fully serial.
+    #: Real cores hide most but not all memory latency behind compute.
+    mem_overlap_residual: float = 0.2
+    #: energy model (the paper's third example objective): per-socket
+    #: idle/uncore power, per-busy-core active power, DRAM access energy
+    idle_power_per_socket: float = 40.0
+    active_power_per_core: float = 12.0
+    dram_energy_per_byte: float = 60e-12
+
+    @property
+    def tlb_reach(self) -> int:
+        return self.tlb_entries * self.page_size
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def level(self, name: str) -> CacheLevel:
+        for lv in self.levels:
+            if lv.name == name:
+                return lv
+        raise KeyError(f"machine {self.name!r} has no cache level {name!r}")
+
+    def default_thread_counts(self) -> tuple[int, ...]:
+        """The thread counts the paper evaluates per machine: 1, half a
+        socket, then doubling up to the core count — (1, 5, 10, 20, 40) on
+        Westmere and (1, 2, 4, 8, 16, 32) on Barcelona."""
+        counts = {1}
+        c = max(1, self.cores_per_socket // 2)
+        while c <= self.total_cores:
+            counts.add(c)
+            c *= 2
+        return tuple(sorted(counts))
+
+
+# ---------------------------------------------------------------------------
+# Table I instances
+# ---------------------------------------------------------------------------
+
+WESTMERE = MachineModel(
+    name="Westmere",
+    sockets=4,
+    cores_per_socket=10,
+    freq_hz=2.4e9,
+    flops_per_cycle=2.0,
+    levels=(
+        CacheLevel("L1", 32 * 1024, 64, 8, shared=False, fetch_bw=32e9),
+        CacheLevel("L2", 256 * 1024, 64, 8, shared=False, fetch_bw=20e9),
+        CacheLevel("L3", 30 * 1024 * 1024, 64, 24, shared=True, fetch_bw=12e9),
+    ),
+    dram_bw_per_socket=25e9,
+    dram_bw_per_core=7e9,
+    smp_tax=0.075,
+    numa_tax=0.13,
+)
+
+BARCELONA = MachineModel(
+    name="Barcelona",
+    sockets=8,
+    cores_per_socket=4,
+    freq_hz=2.3e9,
+    flops_per_cycle=2.0,
+    levels=(
+        CacheLevel("L1", 64 * 1024, 64, 2, shared=False, fetch_bw=24e9),
+        CacheLevel("L2", 512 * 1024, 64, 16, shared=False, fetch_bw=14e9),
+        CacheLevel("L3", 2 * 1024 * 1024, 64, 32, shared=True, fetch_bw=8e9),
+    ),
+    dram_bw_per_socket=10e9,
+    dram_bw_per_core=4e9,
+    smp_tax=0.10,
+    numa_tax=0.14,
+    idle_power_per_socket=35.0,
+    active_power_per_core=15.0,
+    dram_energy_per_byte=80e-12,
+)
+
+# ---------------------------------------------------------------------------
+# additional machine definitions beyond the paper's Table I — used by the
+# generality tests and available to users as templates for their own targets
+# ---------------------------------------------------------------------------
+
+#: a modern laptop-class part: one socket, few fast cores, big private L2
+LAPTOP = MachineModel(
+    name="Laptop",
+    sockets=1,
+    cores_per_socket=8,
+    freq_hz=3.2e9,
+    flops_per_cycle=4.0,
+    levels=(
+        CacheLevel("L1", 48 * 1024, 64, 12, shared=False, fetch_bw=64e9),
+        CacheLevel("L2", 1280 * 1024, 64, 20, shared=False, fetch_bw=40e9),
+        CacheLevel("L3", 24 * 1024 * 1024, 64, 12, shared=True, fetch_bw=24e9),
+    ),
+    dram_bw_per_socket=60e9,
+    dram_bw_per_core=20e9,
+    smp_tax=0.06,
+    numa_tax=0.0,
+    tlb_entries=1024,
+    idle_power_per_socket=10.0,
+    active_power_per_core=6.0,
+    dram_energy_per_byte=40e-12,
+)
+
+#: a two-socket contemporary server
+SERVER2S = MachineModel(
+    name="Server2S",
+    sockets=2,
+    cores_per_socket=32,
+    freq_hz=2.6e9,
+    flops_per_cycle=4.0,
+    levels=(
+        CacheLevel("L1", 32 * 1024, 64, 8, shared=False, fetch_bw=48e9),
+        CacheLevel("L2", 1024 * 1024, 64, 16, shared=False, fetch_bw=32e9),
+        CacheLevel("L3", 64 * 1024 * 1024, 64, 16, shared=True, fetch_bw=20e9),
+    ),
+    dram_bw_per_socket=120e9,
+    dram_bw_per_core=15e9,
+    smp_tax=0.07,
+    numa_tax=0.10,
+    tlb_entries=1536,
+    idle_power_per_socket=60.0,
+    active_power_per_core=5.5,
+    dram_energy_per_byte=30e-12,
+)
+
+_MACHINES = {m.name.lower(): m for m in (WESTMERE, BARCELONA, LAPTOP, SERVER2S)}
+
+
+def machine_by_name(name: str) -> MachineModel:
+    try:
+        return _MACHINES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(_MACHINES)}"
+        ) from None

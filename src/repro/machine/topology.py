@@ -1,0 +1,69 @@
+"""Thread-to-core placement.
+
+The paper pins threads so that "the resources of one chip are fully utilized
+before involving an additional processor" (§V-A).  This module reproduces
+that fill policy and derives the quantities the cost model needs: how many
+threads land on the busiest chip (which divides the shared L3) and how many
+sockets are active (which scales aggregate DRAM bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.model import MachineModel
+
+__all__ = ["ThreadPlacement", "place_threads"]
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Result of placing *threads* threads on a machine.
+
+    :param per_socket: number of threads on each socket (socket 0 first).
+    :param active_sockets: sockets with at least one thread.
+    :param max_threads_per_socket: threads on the fullest socket — the
+        divisor of that socket's shared cache.
+    """
+
+    machine: MachineModel
+    threads: int
+    per_socket: tuple[int, ...]
+
+    @property
+    def active_sockets(self) -> int:
+        return sum(1 for t in self.per_socket if t > 0)
+
+    @property
+    def max_threads_per_socket(self) -> int:
+        return max(self.per_socket)
+
+    def shared_capacity_per_thread(self, level_size: int) -> float:
+        """Effective shared-cache capacity available to one thread on the
+        fullest socket."""
+        return level_size / self.max_threads_per_socket
+
+    def aggregate_dram_bw(self) -> float:
+        return self.active_sockets * self.machine.dram_bw_per_socket
+
+
+def place_threads(machine: MachineModel, threads: int) -> ThreadPlacement:
+    """Fill sockets one after another with one thread per physical core.
+
+    :raises ValueError: if *threads* exceeds the machine's core count or is
+        not positive (the paper found no benefit from hyper-threading and
+        skips it; so do we).
+    """
+    if threads < 1:
+        raise ValueError(f"thread count must be positive, got {threads}")
+    if threads > machine.total_cores:
+        raise ValueError(
+            f"{threads} threads exceed {machine.name}'s {machine.total_cores} cores"
+        )
+    per_socket = []
+    remaining = threads
+    for _ in range(machine.sockets):
+        take = min(remaining, machine.cores_per_socket)
+        per_socket.append(take)
+        remaining -= take
+    return ThreadPlacement(machine=machine, threads=threads, per_socket=tuple(per_socket))

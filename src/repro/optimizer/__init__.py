@@ -1,0 +1,76 @@
+"""Multi-objective optimization: RS-GDE3 and baselines.
+
+The paper's static optimizer (§III-B) maps region tuning to a
+multi-objective problem and solves it with **RS-GDE3**: the Generalized
+Differential Evolution 3 algorithm (Kukkonen & Lampinen) combined with a
+Rough-Set-based search-space reduction re-applied every iteration.
+
+Package contents:
+
+* :mod:`repro.optimizer.pareto` — dominance, non-dominated filtering,
+  non-dominated sorting, crowding distance;
+* :mod:`repro.optimizer.hypervolume` — the V(S) quality indicator;
+* :mod:`repro.optimizer.space` / :mod:`config` / :mod:`problem` — parameter
+  spaces, configurations and the tuning-problem adapter over the simulated
+  target;
+* :mod:`repro.optimizer.gde3` — GDE3 generations within a boundary box;
+* :mod:`repro.optimizer.roughset` — the rough-set boundary reduction;
+* :mod:`repro.optimizer.rsgde3` — the combined driver with the paper's
+  "no improvement for three consecutive iterations" stopping rule;
+* :mod:`repro.optimizer.brute_force`, :mod:`random_search`,
+  :mod:`nsga2` — comparison strategies;
+* :mod:`repro.optimizer.metrics` — E, |S| and V(S) reporting (Table VI).
+"""
+
+from repro.optimizer.pareto import (
+    crowding_distance,
+    dominates,
+    non_dominated,
+    non_dominated_sort,
+)
+from repro.optimizer.hypervolume import hypervolume, normalized_hypervolume
+from repro.optimizer.config import Configuration
+from repro.optimizer.space import Boundary, ParameterSpace
+from repro.optimizer.problem import TuningProblem
+from repro.optimizer.gde3 import GDE3, GDE3Settings
+from repro.optimizer.roughset import rough_set_boundary
+from repro.optimizer.rsgde3 import RSGDE3, OptimizerResult
+from repro.optimizer.random_search import random_search
+from repro.optimizer.brute_force import brute_force_search, grid_candidates
+from repro.optimizer.nsga2 import NSGA2
+from repro.optimizer.metrics import FrontMetrics, compare_fronts
+from repro.optimizer.seeding import informed_seeds, mixed_initial_vectors
+from repro.optimizer.skeleton_choice import (
+    SkeletonChoiceProblem,
+    build_skeleton_choice,
+    legal_loop_orders,
+)
+
+__all__ = [
+    "dominates",
+    "non_dominated",
+    "non_dominated_sort",
+    "crowding_distance",
+    "hypervolume",
+    "normalized_hypervolume",
+    "Configuration",
+    "ParameterSpace",
+    "Boundary",
+    "TuningProblem",
+    "GDE3",
+    "GDE3Settings",
+    "rough_set_boundary",
+    "RSGDE3",
+    "OptimizerResult",
+    "random_search",
+    "brute_force_search",
+    "grid_candidates",
+    "NSGA2",
+    "FrontMetrics",
+    "compare_fronts",
+    "informed_seeds",
+    "mixed_initial_vectors",
+    "SkeletonChoiceProblem",
+    "build_skeleton_choice",
+    "legal_loop_orders",
+]

@@ -1,0 +1,52 @@
+"""Configurations: parameter assignments with measured objectives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Configuration"]
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One evaluated point of the search space.
+
+    :param values: sorted (name, value) pairs — tile sizes, thread count,
+        flags — everything "modeled uniformly" as the paper puts it.
+    :param objectives: measured objective vector (minimization).
+    """
+
+    values: tuple[tuple[str, int], ...]
+    objectives: tuple[float, ...]
+
+    @staticmethod
+    def make(values: dict[str, int], objectives: tuple[float, ...] | list[float]) -> "Configuration":
+        return Configuration(
+            values=tuple(sorted((k, int(v)) for k, v in values.items())),
+            objectives=tuple(float(x) for x in objectives),
+        )
+
+    def value(self, name: str) -> int:
+        for k, v in self.values:
+            if k == name:
+                return v
+        raise KeyError(f"configuration has no parameter {name!r}")
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.values)
+
+    def vector(self, names: list[str] | tuple[str, ...]) -> np.ndarray:
+        d = self.as_dict()
+        return np.array([d[n] for n in names], dtype=float)
+
+    @property
+    def time(self) -> float:
+        """First objective (wall time by convention)."""
+        return self.objectives[0]
+
+    @property
+    def resources(self) -> float:
+        """Second objective (threads × time by convention)."""
+        return self.objectives[1]

@@ -1,0 +1,96 @@
+"""Solution-set quality metrics (paper §V-B3, Table VI).
+
+Three metrics compare optimization strategies:
+
+* ``E`` — evaluations spent obtaining the set (algorithm efficiency);
+* ``|S|`` — number of Pareto points (runtime flexibility);
+* ``V(S)`` — normalized hypervolume (solution quality), normalized over
+  the union envelope of all fronts under comparison so values are
+  directly comparable across strategies.
+
+``igd`` (inverse generational distance to a reference front) is provided as
+an additional indicator used by the extended benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.optimizer.config import Configuration
+from repro.optimizer.hypervolume import normalized_hypervolume
+from repro.optimizer.rsgde3 import OptimizerResult
+
+__all__ = ["FrontMetrics", "compare_fronts", "igd"]
+
+
+@dataclass(frozen=True)
+class FrontMetrics:
+    """One strategy's Table VI row."""
+
+    name: str
+    evaluations: float
+    size: float
+    hypervolume: float
+
+    def row(self) -> list:
+        return [self.name, round(self.evaluations, 1), round(self.size, 1), round(self.hypervolume, 3)]
+
+
+def _objs(front: tuple[Configuration, ...]) -> np.ndarray:
+    return np.array([c.objectives for c in front], dtype=float)
+
+
+def compare_fronts(results: dict[str, list[OptimizerResult]]) -> list[FrontMetrics]:
+    """Aggregate repeated runs per strategy into Table VI metrics.
+
+    The hypervolume normalization envelope (ideal/nadir) is computed over
+    the union of *all* fronts of *all* strategies and runs, then each run's
+    V(S) is computed against it; per-strategy numbers are arithmetic means
+    over runs, exactly like the paper's 5-run aggregation.
+    """
+    all_points = [
+        _objs(res.front)
+        for runs in results.values()
+        for res in runs
+        if res.front
+    ]
+    if not all_points:
+        raise ValueError("no fronts to compare")
+    union = np.vstack(all_points)
+    ideal = union.min(axis=0)
+    nadir = union.max(axis=0)
+
+    out = []
+    for name, runs in results.items():
+        if not runs:
+            continue
+        es = [res.evaluations for res in runs]
+        sizes = [res.size for res in runs]
+        hvs = [
+            normalized_hypervolume(_objs(res.front), ideal, nadir) if res.front else 0.0
+            for res in runs
+        ]
+        out.append(
+            FrontMetrics(
+                name=name,
+                evaluations=float(np.mean(es)),
+                size=float(np.mean(sizes)),
+                hypervolume=float(np.mean(hvs)),
+            )
+        )
+    return out
+
+
+def igd(front: np.ndarray, reference_front: np.ndarray) -> float:
+    """Inverse generational distance: mean distance from each reference
+    point to its nearest front point (lower is better)."""
+    front = np.atleast_2d(front)
+    reference_front = np.atleast_2d(reference_front)
+    if front.size == 0:
+        return float("inf")
+    dists = np.linalg.norm(
+        reference_front[:, None, :] - front[None, :, :], axis=2
+    ).min(axis=1)
+    return float(dists.mean())

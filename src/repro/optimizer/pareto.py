@@ -1,0 +1,133 @@
+"""Pareto dominance primitives (minimization convention).
+
+Definitions follow the paper §III-B1: configuration ``c1`` *dominates*
+``c2`` if it is no worse in every objective and strictly better in at least
+one; two configurations are *non-dominated* (w.r.t. each other) if neither
+dominates; a set of mutually non-dominated configurations is a Pareto set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "non_dominated",
+    "non_dominated_mask",
+    "non_dominated_sort",
+    "crowding_distance",
+]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True iff objective vector *a* dominates *b* (all ≤, at least one <)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have equal length")
+    not_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return not_worse and strictly_better
+
+
+def _non_dominated_mask_2d(objs: np.ndarray) -> np.ndarray:
+    """O(N log N) sweep for the bi-objective case: sort by the first
+    objective, keep points strictly improving the running second-objective
+    minimum (exact duplicates are all retained)."""
+    n = objs.shape[0]
+    mask = np.zeros(n, dtype=bool)
+    order = np.lexsort((objs[:, 1], objs[:, 0]))
+    best1 = np.inf
+    i = 0
+    while i < n:
+        # group of equal first objective
+        j = i
+        v0 = objs[order[i], 0]
+        group_min = np.inf
+        while j < n and objs[order[j], 0] == v0:
+            group_min = min(group_min, objs[order[j], 1])
+            j += 1
+        if group_min < best1:
+            for k in range(i, j):
+                idx = order[k]
+                if objs[idx, 1] == group_min:
+                    mask[idx] = True
+            best1 = group_min
+        i = j
+    return mask
+
+
+def non_dominated_mask(objs: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of an (N, m) objective array.
+
+    Bi-objective inputs use an O(N log N) sweep (brute-force fronts have
+    ~10^5 points); the general case is an O(N^2) pairwise sweep, fine for
+    population-sized sets.
+    """
+    objs = np.asarray(objs, dtype=float)
+    n = objs.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    if objs.shape[1] == 2:
+        return _non_dominated_mask_2d(objs)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        o = objs[i]
+        dominated_by_i = (objs >= o).all(axis=1) & (objs > o).any(axis=1)
+        mask &= ~dominated_by_i
+        mask[i] = True
+        # if i itself is dominated by any currently-alive point, kill it
+        alive = np.flatnonzero(mask)
+        dominates_i = (objs[alive] <= o).all(axis=1) & (objs[alive] < o).any(axis=1)
+        if dominates_i.any():
+            mask[i] = False
+    return mask
+
+
+def non_dominated(items: Sequence, key=lambda x: x) -> list:
+    """The non-dominated subset of *items*; ``key`` extracts the objective
+    vector.  Duplicate objective vectors are all retained."""
+    if not items:
+        return []
+    objs = np.array([key(it) for it in items], dtype=float)
+    mask = non_dominated_mask(objs)
+    return [it for it, keep in zip(items, mask) if keep]
+
+
+def non_dominated_sort(objs: np.ndarray) -> list[np.ndarray]:
+    """Fast non-dominated sorting: list of index arrays, best front first."""
+    objs = np.asarray(objs, dtype=float)
+    n = objs.shape[0]
+    remaining = np.arange(n)
+    fronts: list[np.ndarray] = []
+    while remaining.size:
+        sub = objs[remaining]
+        mask = non_dominated_mask(sub)
+        fronts.append(remaining[mask])
+        remaining = remaining[~mask]
+    return fronts
+
+
+def crowding_distance(objs: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance of each row of an (N, m) objective array.
+
+    Boundary points get infinite distance; interior points the sum of
+    normalized neighbour gaps per objective."""
+    objs = np.asarray(objs, dtype=float)
+    n, m = objs.shape
+    dist = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for j in range(m):
+        order = np.argsort(objs[:, j], kind="stable")
+        col = objs[order, j]
+        span = col[-1] - col[0]
+        dist[order[0]] = np.inf
+        dist[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        gaps = (col[2:] - col[:-2]) / span
+        dist[order[1:-1]] += gaps
+    return dist

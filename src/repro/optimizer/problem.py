@@ -1,0 +1,124 @@
+"""The tuning problem: parameter space × objective function.
+
+Adapts a region's :class:`~repro.transform.skeleton.TransformationSkeleton`
+and a :class:`~repro.evaluation.simulator.SimulatedTarget` to the generic
+multi-objective interface the solvers consume: ``f : C → R^m`` mapping a
+parameter vector to (time, resources).
+
+The paper's objective function "executes the resulting version and collects
+measurements" — here the execution is the simulated measurement; the
+evaluation ledger of the target provides the ``E`` metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.simulator import SimulatedTarget
+from repro.optimizer.config import Configuration
+from repro.optimizer.space import ParameterSpace
+from repro.transform.skeleton import TransformationSkeleton
+
+__all__ = ["TuningProblem"]
+
+
+@dataclass
+class TuningProblem:
+    """One region's multi-objective tuning problem.
+
+    :param space: the skeleton's parameters (tile sizes + threads [+ …]).
+    :param target: the measurement substrate.
+    :param skeleton: retained so solutions can be instantiated into code.
+    :param tri_objective: optimize (time, resources, energy) instead of
+        (time, resources); requires a target with ``measure_energy=True``.
+    """
+
+    space: ParameterSpace
+    target: SimulatedTarget
+    skeleton: TransformationSkeleton | None = None
+    tri_objective: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tri_objective and not self.target.measure_energy:
+            raise ValueError(
+                "tri-objective tuning needs a target with measure_energy=True"
+            )
+
+    @classmethod
+    def from_skeleton(
+        cls,
+        skeleton: TransformationSkeleton,
+        target: SimulatedTarget,
+        tri_objective: bool = False,
+    ) -> "TuningProblem":
+        return cls(
+            space=ParameterSpace(skeleton.parameters),
+            target=target,
+            skeleton=skeleton,
+            tri_objective=tri_objective,
+        )
+
+    @property
+    def num_objectives(self) -> int:
+        return 3 if self.tri_objective else 2
+
+    @property
+    def evaluations(self) -> int:
+        """E — configurations evaluated so far."""
+        return self.target.evaluations
+
+    # ------------------------------------------------------------------
+
+    def split_values(self, values: dict[str, int]) -> tuple[dict[str, int], int]:
+        """(tile_sizes, threads) from a flat parameter assignment."""
+        tiles = {
+            name[len("tile_"):]: v
+            for name, v in values.items()
+            if name.startswith("tile_")
+        }
+        threads = int(values.get("threads", 1))
+        return tiles, threads
+
+    def evaluate(self, values: dict[str, int]) -> Configuration:
+        tiles, threads = self.split_values(values)
+        obj = self.target.evaluate(tiles, threads)
+        vec = obj.vector3() if self.tri_objective else obj.vector()
+        return Configuration.make(values, vec)
+
+    def evaluate_vector(self, vec: np.ndarray) -> Configuration:
+        return self.evaluate(self.space.to_dict(vec))
+
+    def evaluate_batch(self, vectors: np.ndarray) -> list[Configuration]:
+        """Evaluate (B, dim) parameter vectors via the target's batch path.
+
+        Mirrors the paper's parallel evaluation of each generation's
+        configurations.
+        """
+        vectors = np.asarray(vectors)
+        names = self.space.names
+        band = self.target.band
+        tile_cols = []
+        for v in band:
+            pname = f"tile_{v}"
+            if pname in names:
+                tile_cols.append(vectors[:, names.index(pname)])
+            else:
+                tile_cols.append(np.full(len(vectors), self.target.model.extent[v]))
+        tiles = np.stack(tile_cols, axis=1).astype(np.int64)
+        if "threads" in names:
+            threads = vectors[:, names.index("threads")].astype(np.int64)
+        else:
+            threads = np.ones(len(vectors), dtype=np.int64)
+        times = self.target.evaluate_batch(tiles, threads)
+        out = []
+        for row, tile_row, t, thr in zip(vectors, tiles, times, threads):
+            values = self.space.to_dict(row)
+            if self.tri_objective:
+                tile_map = {v: int(x) for v, x in zip(band, tile_row)}
+                obj = self.target.cached_objectives(tile_map, int(thr))
+                out.append(Configuration.make(values, obj.vector3()))
+            else:
+                out.append(Configuration.make(values, (float(t), float(t * thr))))
+        return out

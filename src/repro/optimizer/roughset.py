@@ -1,0 +1,100 @@
+"""Rough-Set-based search-space reduction (paper §III-B4, Fig. 5).
+
+From the most recent population, split configurations into non-dominated
+("squares") and dominated ("triangles").  Per parameter dimension, the new
+boundary is the largest hyper-rectangle **limited by dominated points** that
+still encloses all non-dominated points:
+
+* lower bound = the largest dominated-point coordinate that is still ≤ the
+  smallest non-dominated coordinate (falling back to the current search
+  space's bound when no dominated point lies below);
+* upper bound symmetrically.
+
+The reduction is re-applied every iteration so the box can follow the
+front as the population improves ("we continuously update the reduced
+search space ... to gradually steer the search towards the area where the
+optimal Pareto set is located").
+
+This mechanism needs no domain knowledge — only the coordinates of already
+evaluated configurations — which is the paper's stated advantage over
+model-based space pruning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optimizer.config import Configuration
+from repro.optimizer.pareto import non_dominated_mask
+from repro.optimizer.space import Boundary
+
+__all__ = ["rough_set_boundary"]
+
+
+def rough_set_boundary(
+    population: list[Configuration],
+    full: Boundary,
+    min_span_fraction: float = 0.1,
+    protect: frozenset[str] | set[str] = frozenset(),
+) -> Boundary:
+    """Reduced boundary from *population* within the *full* space.
+
+    ``protect`` names dimensions that are never reduced.  The driver
+    protects the ``threads`` dimension by default: the Pareto front of
+    (time, resources) contains one arm per thread count, and a box that
+    clamps the thread range ejects whole arms irrecoverably (trials are
+    snapped into the box, so excluded thread counts can never re-enter the
+    population).  The paper illustrates its reduction on transformation
+    parameters (Fig. 5) and reports fronts covering many more thread counts
+    than a collapsed box could produce (|S| up to 28.6); an ablation
+    benchmark (`bench_ablation_roughset`) shows what happens without the
+    protection.
+
+    ``min_span_fraction`` keeps each dimension's reduced span at a minimum
+    fraction of the full span (re-centred around the non-dominated points).
+    With small populations in few dimensions the raw largest-rectangle rule
+    can collapse the box to near a point after a handful of iterations,
+    choking the DE operator on duplicate configurations; the floor keeps the
+    "imperfect knowledge" character of the rough approximation (the boundary
+    region around the non-dominated set stays explorable) while still
+    discarding the bulk of the space.
+
+    Degenerate cases (no dominated points, or a fully non-dominated
+    population) keep the full bounds in the affected dimensions.
+    """
+    if not population:
+        return full
+    names = full.space.names
+    vecs = np.stack([c.vector(names) for c in population])
+    objs = np.array([c.objectives for c in population])
+    nd_mask = non_dominated_mask(objs)
+    if nd_mask.all() or not nd_mask.any():
+        return full
+
+    nd = vecs[nd_mask]
+    dom = vecs[~nd_mask]
+
+    lo = full.lo.copy()
+    hi = full.hi.copy()
+    for j in range(full.space.dim):
+        if names[j] in protect:
+            continue
+        nd_min = nd[:, j].min()
+        nd_max = nd[:, j].max()
+        below = dom[dom[:, j] <= nd_min, j]
+        above = dom[dom[:, j] >= nd_max, j]
+        if below.size:
+            lo[j] = max(lo[j], below.max())
+        if above.size:
+            hi[j] = min(hi[j], above.min())
+        # numerical safety: never exclude the non-dominated points
+        lo[j] = min(lo[j], nd_min)
+        hi[j] = max(hi[j], nd_max)
+        # anti-collapse floor
+        min_span = (full.hi[j] - full.lo[j]) * min_span_fraction
+        span = hi[j] - lo[j]
+        if span < min_span:
+            pad = 0.5 * (min_span - span)
+            lo[j] = max(full.lo[j], lo[j] - pad)
+            hi[j] = min(full.hi[j], hi[j] + pad)
+    return Boundary(space=full.space, lo=lo, hi=hi)

@@ -1,0 +1,123 @@
+"""Parameter spaces and boundary boxes.
+
+A :class:`ParameterSpace` is the ordered list of tunable parameters of a
+skeleton; a :class:`Boundary` is the (possibly rough-set-reduced) box the
+search currently operates in — the ``B`` of the paper's Algorithm 1, whose
+``getClosestTo`` snaps generated configurations into the box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.transform.skeleton import Parameter
+
+__all__ = ["ParameterSpace", "Boundary"]
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """An ordered, named integer parameter space."""
+
+    parameters: tuple[Parameter, ...]
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate parameter names: {names}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.parameters)
+
+    @property
+    def dim(self) -> int:
+        return len(self.parameters)
+
+    def parameter(self, name: str) -> Parameter:
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise KeyError(f"no parameter {name!r}")
+
+    def full_boundary(self) -> "Boundary":
+        lo = np.array([p.span()[0] for p in self.parameters], dtype=float)
+        hi = np.array([p.span()[1] for p in self.parameters], dtype=float)
+        return Boundary(space=self, lo=lo, hi=hi)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Uniform samples (count, dim) within the full space, snapped to
+        each parameter's domain (categorical parameters draw uniformly from
+        their choices)."""
+        cols = []
+        for p in self.parameters:
+            if p.is_categorical:
+                cols.append(rng.choice(np.array(p.choices), size=count))
+            else:
+                cols.append(rng.integers(p.lo, p.hi + 1, size=count))
+        return np.stack(cols, axis=1).astype(float)
+
+    def clamp_vector(self, vec: np.ndarray) -> np.ndarray:
+        """Snap a float vector onto valid integer parameter values."""
+        return np.array(
+            [p.clamp(x) for p, x in zip(self.parameters, vec)], dtype=float
+        )
+
+    def to_dict(self, vec: np.ndarray) -> dict[str, int]:
+        return {p.name: int(round(x)) for p, x in zip(self.parameters, vec)}
+
+    def cardinality(self) -> int:
+        """Size of the discrete search space |C|."""
+        total = 1
+        for p in self.parameters:
+            total *= len(p.choices) if p.is_categorical else (p.hi - p.lo + 1)
+        return total
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """An axis-aligned box within a parameter space (Algorithm 1's ``B``)."""
+
+    space: ParameterSpace
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        if (self.lo > self.hi).any():
+            raise ValueError("boundary has lo > hi")
+
+    def get_closest_to(self, vec: np.ndarray) -> np.ndarray:
+        """The paper's ``B.getClosestTo(r)``: clip into the box, then snap
+        to valid parameter values (categoricals pick the nearest in-box
+        choice, falling back to the nearest choice overall)."""
+        clipped = np.clip(np.asarray(vec, dtype=float), self.lo, self.hi)
+        out = []
+        for j, p in enumerate(self.space.parameters):
+            if p.is_categorical:
+                in_box = [c for c in p.choices if self.lo[j] <= c <= self.hi[j]]
+                pool = in_box or list(p.choices)
+                out.append(min(pool, key=lambda c: abs(c - clipped[j])))
+            else:
+                out.append(p.clamp(clipped[j]))
+        return np.array(out, dtype=float)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        if count <= 0:
+            return np.zeros((0, self.space.dim))
+        raw = rng.uniform(self.lo, self.hi + 1.0, size=(count, self.space.dim))
+        return np.stack([self.get_closest_to(row) for row in raw], axis=0)
+
+    def contains(self, vec: np.ndarray) -> bool:
+        return bool((vec >= self.lo).all() and (vec <= self.hi).all())
+
+    def volume_fraction(self) -> float:
+        """Fraction of the full space's volume this box covers."""
+        full = self.space.full_boundary()
+        frac = 1.0
+        for j in range(self.space.dim):
+            span_full = full.hi[j] - full.lo[j] + 1
+            span_here = self.hi[j] - self.lo[j] + 1
+            frac *= span_here / span_full
+        return float(frac)

@@ -1,0 +1,76 @@
+"""Runtime monitoring: execution history and (simulated) system state.
+
+The Insieme runtime lets components consult "real-time system monitoring
+results for their decision-making processes".  Here the monitor records
+which version ran when (and how long it took) and tracks the mutable system
+context — currently the number of cores available to the process — which the
+context-sensitive policies (e.g. :class:`ThreadCapPolicy`) read.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+__all__ = ["ExecutionRecord", "RuntimeMonitor"]
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One region invocation."""
+
+    region: str
+    version_index: int
+    threads: int
+    predicted_time: float
+    wall_time: float
+    timestamp: float
+
+
+@dataclass
+class RuntimeMonitor:
+    """Execution ledger plus system context.
+
+    :param available_cores: cores the scheduler may use right now; external
+        events (co-scheduled jobs) update it via :meth:`set_available_cores`,
+        after which executors re-select versions.
+    """
+
+    available_cores: int = 0
+    history: list[ExecutionRecord] = field(default_factory=list)
+
+    def context(self) -> dict:
+        ctx: dict = {}
+        if self.available_cores > 0:
+            ctx["available_cores"] = self.available_cores
+        return ctx
+
+    def set_available_cores(self, cores: int) -> None:
+        if cores < 1:
+            raise ValueError("available cores must be positive")
+        self.available_cores = cores
+
+    def record(
+        self,
+        region: str,
+        version_index: int,
+        threads: int,
+        predicted_time: float,
+        wall_time: float,
+    ) -> None:
+        self.history.append(
+            ExecutionRecord(
+                region=region,
+                version_index=version_index,
+                threads=threads,
+                predicted_time=predicted_time,
+                wall_time=wall_time,
+                timestamp=_time.time(),
+            )
+        )
+
+    def selections(self) -> list[int]:
+        return [r.version_index for r in self.history]
+
+    def total_cpu_seconds(self) -> float:
+        return sum(r.wall_time * r.threads for r in self.history)

@@ -1,0 +1,105 @@
+"""Online version selection: learning from production measurements.
+
+The paper's related work distinguishes offline searching (its own
+approach) from "(2) online tuning of program parameters".  Multi-versioning
+makes a hybrid natural: the static optimizer ships the Pareto set, and the
+runtime *learns which version is actually fastest in production* — the
+tuning-time measurements may be stale (different co-runners, input shapes,
+frequencies).
+
+:class:`BanditSelector` treats the versions as arms of a stochastic bandit
+and minimizes observed time with UCB1 (or ε-greedy) on top of the metadata
+prior.  It composes with :class:`~repro.runtime.scheduler.RegionExecutor`
+as a policy: exploration happens on real invocations, and the observed
+medians can be folded back via ``executor.recalibrate()``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.runtime.selection import SelectionPolicy
+from repro.runtime.version_table import Version, VersionTable
+from repro.util.rng import derive_rng
+
+__all__ = ["BanditSelector"]
+
+
+@dataclass
+class BanditSelector(SelectionPolicy):
+    """A learning selection policy minimizing observed wall time.
+
+    :param strategy: ``"ucb1"`` (default) or ``"epsilon"`` (ε-greedy).
+    :param epsilon: exploration rate for the ε-greedy strategy.
+    :param exploration: UCB exploration weight (in units of the observed
+        time scale).
+    :param prior_weight: how many pseudo-observations the metadata time
+        contributes per version (0 ignores the static prediction).
+    :param seed: randomness for ε-greedy exploration.
+
+    Feed observations with :meth:`observe` (the executor's recorded wall
+    time); :meth:`select` then balances exploitation and exploration.
+    """
+
+    strategy: str = "ucb1"
+    epsilon: float = 0.1
+    exploration: float = 0.5
+    prior_weight: float = 1.0
+    seed: int = 0
+    _counts: dict[int, int] = field(default_factory=dict)
+    _sums: dict[int, float] = field(default_factory=dict)
+    _total: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("ucb1", "epsilon"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        self._rng = derive_rng(self.seed, "bandit")
+
+    # ------------------------------------------------------------------
+
+    def observe(self, version_index: int, wall_time: float) -> None:
+        """Record one production measurement of a version."""
+        if wall_time <= 0:
+            raise ValueError("wall time must be positive")
+        self._counts[version_index] = self._counts.get(version_index, 0) + 1
+        self._sums[version_index] = self._sums.get(version_index, 0.0) + wall_time
+        self._total += 1
+
+    def mean_time(self, version: Version) -> float:
+        """Posterior-mean time: metadata prior blended with observations."""
+        idx = version.meta.index
+        n = self._counts.get(idx, 0)
+        s = self._sums.get(idx, 0.0)
+        w = self.prior_weight
+        denom = n + w
+        if denom <= 0:
+            return version.meta.time
+        return (s + w * version.meta.time) / denom
+
+    def observations(self, version_index: int) -> int:
+        return self._counts.get(version_index, 0)
+
+    # ------------------------------------------------------------------
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        if self.strategy == "epsilon":
+            if self._rng.random() < self.epsilon:
+                versions = list(table)
+                return versions[int(self._rng.integers(len(versions)))]
+            return min(table, key=self.mean_time)
+
+        # UCB1 on negated time, scaled by the table's time spread
+        scale = max(v.meta.time for v in table) - min(v.meta.time for v in table)
+        scale = scale or max(v.meta.time for v in table) or 1.0
+        total = max(1, self._total)
+
+        def score(v: Version) -> float:
+            n = self._counts.get(v.meta.index, 0) + self.prior_weight
+            bonus = self.exploration * scale * math.sqrt(2 * math.log(total + 1) / n)
+            return self.mean_time(v) - bonus
+
+        return min(table, key=score)
+
+    def describe(self) -> str:
+        return f"bandit({self.strategy}, n={self._total})"

@@ -1,0 +1,112 @@
+"""Region execution with dynamic version selection.
+
+The executor is the runtime-side endpoint of the paper's pipeline: region
+invocations are delegated to it (label 6 in Fig. 3), it consults the
+selection policy and the monitor's system context, runs the chosen version
+and records the outcome.  Policies can be swapped and the context can change
+between invocations — the "dynamically adjusting to changing circumstances"
+of the abstract.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.runtime.monitor import RuntimeMonitor
+from repro.runtime.selection import SelectionPolicy, WeightedSumPolicy
+from repro.runtime.version_table import Version, VersionTable
+
+__all__ = ["RegionExecutor"]
+
+
+@dataclass
+class RegionExecutor:
+    """Executes a multi-versioned region under a selection policy.
+
+    :param table: the region's version table.
+    :param policy: selection policy (defaults to the paper's weighted sum
+        with equal weights).
+    :param monitor: shared runtime monitor; a private one is created when
+        not supplied.
+    """
+
+    table: VersionTable
+    policy: SelectionPolicy = field(default_factory=WeightedSumPolicy)
+    monitor: RuntimeMonitor = field(default_factory=RuntimeMonitor)
+
+    def set_policy(self, policy: SelectionPolicy) -> None:
+        self.policy = policy
+
+    def select(self) -> Version:
+        """The version the current policy would pick right now."""
+        return self.policy.select(self.table, self.monitor.context())
+
+    def execute(
+        self,
+        arrays: dict[str, np.ndarray],
+        scalars: dict[str, int],
+    ) -> Version:
+        """Run the selected version on the given data; returns it."""
+        version = self.select()
+        t0 = _time.perf_counter()
+        version(arrays, scalars)
+        wall = _time.perf_counter() - t0
+        self.monitor.record(
+            region=self.table.region_name,
+            version_index=version.meta.index,
+            threads=version.meta.threads,
+            predicted_time=version.meta.time,
+            wall_time=wall,
+        )
+        return version
+
+    def recalibrate(self, min_samples: int = 3) -> int:
+        """Fold observed wall times back into the version metadata.
+
+        The static optimizer's times come from tuning-time measurement;
+        production conditions drift ("dynamically adjusting to changing
+        circumstances").  For every version with at least *min_samples*
+        recorded executions of this region, its metadata time (and the
+        derived resources/energy-proportional fields) is replaced by the
+        observed median, so subsequent policy decisions reflect reality.
+
+        :returns: the number of versions whose metadata was updated.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.runtime.version_table import VersionTable
+        from repro.util.stats import median
+
+        samples: dict[int, list[float]] = {}
+        for record in self.monitor.history:
+            if record.region != self.table.region_name:
+                continue
+            samples.setdefault(record.version_index, []).append(record.wall_time)
+
+        updated = 0
+        new_versions = []
+        for version in self.table:
+            obs = samples.get(version.meta.index, [])
+            if len(obs) >= min_samples:
+                observed = median(obs)
+                scale = observed / version.meta.time if version.meta.time > 0 else 1.0
+                meta = dc_replace(
+                    version.meta,
+                    time=observed,
+                    resources=observed * version.meta.threads,
+                    energy=None
+                    if version.meta.energy is None
+                    else version.meta.energy * scale,
+                )
+                new_versions.append(dc_replace(version, meta=meta))
+                updated += 1
+            else:
+                new_versions.append(version)
+        if updated:
+            self.table = VersionTable(
+                region_name=self.table.region_name, versions=tuple(new_versions)
+            )
+        return updated

@@ -1,0 +1,202 @@
+"""Version-selection policies.
+
+"The actual policy for selecting code versions is dynamically configurable"
+(paper §IV).  The default is the paper's weighted-sum rule; the others cover
+the scenarios §III-A sketches: user-fixed priorities, system-wide
+performance settings (thread caps when the machine is shared), and quality-
+of-service constraints (deadlines, efficiency floors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.version_table import Version, VersionTable
+
+__all__ = [
+    "SelectionPolicy",
+    "WeightedSumPolicy",
+    "FastestPolicy",
+    "MostEfficientPolicy",
+    "TimeCapPolicy",
+    "ThreadCapPolicy",
+    "EfficiencyFloorPolicy",
+    "GreenestPolicy",
+    "EnergyCapPolicy",
+    "policy_by_name",
+]
+
+
+class SelectionPolicy:
+    """Base: maps a version table (+ runtime context) to a version."""
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class WeightedSumPolicy(SelectionPolicy):
+    """Paper §IV: pick the version minimizing ``w_t·time + w_r·resources``.
+
+    Because metadata times/resources live on very different scales, weights
+    are applied to *normalized* objectives (min-max over the table) so that
+    ``w_time=1, w_resources=0`` reproduces FastestPolicy and the reverse
+    MostEfficientPolicy, with a smooth trade-off in between.
+    """
+
+    w_time: float = 0.5
+    w_resources: float = 0.5
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        times = [v.meta.time for v in table]
+        ress = [v.meta.resources for v in table]
+        t_lo, t_hi = min(times), max(times)
+        r_lo, r_hi = min(ress), max(ress)
+
+        def norm(x: float, lo: float, hi: float) -> float:
+            return 0.0 if hi <= lo else (x - lo) / (hi - lo)
+
+        return min(
+            table,
+            key=lambda v: self.w_time * norm(v.meta.time, t_lo, t_hi)
+            + self.w_resources * norm(v.meta.resources, r_lo, r_hi),
+        )
+
+    def describe(self) -> str:
+        return f"weighted(w_t={self.w_time}, w_r={self.w_resources})"
+
+
+@dataclass(frozen=True)
+class FastestPolicy(SelectionPolicy):
+    """Minimize wall time regardless of resource cost."""
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        return table.fastest()
+
+
+@dataclass(frozen=True)
+class MostEfficientPolicy(SelectionPolicy):
+    """Minimize cpu-seconds (maximize parallel efficiency)."""
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        return table.most_efficient()
+
+
+@dataclass(frozen=True)
+class TimeCapPolicy(SelectionPolicy):
+    """Meet a deadline as cheaply as possible: among versions with
+    ``time <= cap`` pick the fewest cpu-seconds; if none qualifies, fall
+    back to the fastest version."""
+
+    cap: float
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        qualifying = [v for v in table if v.meta.time <= self.cap]
+        if not qualifying:
+            return table.fastest()
+        return min(qualifying, key=lambda v: v.meta.resources)
+
+    def describe(self) -> str:
+        return f"time_cap({self.cap:g}s)"
+
+
+@dataclass(frozen=True)
+class ThreadCapPolicy(SelectionPolicy):
+    """System-wide core budget (machine shared with other jobs): fastest
+    version not exceeding the available cores.
+
+    The cap defaults to ``context['available_cores']`` so an executor can
+    re-select when the machine's free-core count changes — the "dynamically
+    adjusting to changing circumstances" scenario of the abstract.
+    """
+
+    cap: int | None = None
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        cap = self.cap
+        if cap is None:
+            cap = int((context or {}).get("available_cores", max(v.meta.threads for v in table)))
+        qualifying = [v for v in table if v.meta.threads <= cap]
+        if not qualifying:
+            qualifying = [min(table, key=lambda v: v.meta.threads)]
+        return min(qualifying, key=lambda v: v.meta.time)
+
+    def describe(self) -> str:
+        return f"thread_cap({self.cap if self.cap is not None else 'context'})"
+
+
+@dataclass(frozen=True)
+class EfficiencyFloorPolicy(SelectionPolicy):
+    """Fastest version whose parallel efficiency (relative to the table's
+    best sequential entry) stays above a floor; versions without a
+    sequential reference fall back to the resources ordering."""
+
+    floor: float = 0.8
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        seq = [v for v in table if v.meta.threads == 1]
+        if not seq:
+            return table.most_efficient()
+        t_seq = min(v.meta.time for v in seq)
+        qualifying = [
+            v
+            for v in table
+            if (t_seq / v.meta.time) / v.meta.threads >= self.floor
+        ]
+        if not qualifying:
+            return table.most_efficient()
+        return min(qualifying, key=lambda v: v.meta.time)
+
+    def describe(self) -> str:
+        return f"efficiency_floor({self.floor:g})"
+
+
+@dataclass(frozen=True)
+class GreenestPolicy(SelectionPolicy):
+    """Minimize energy per invocation; versions without energy metadata
+    fall back to the resources ordering (cpu-seconds as energy proxy)."""
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        with_energy = [v for v in table if v.meta.energy is not None]
+        if not with_energy:
+            return table.most_efficient()
+        return min(with_energy, key=lambda v: v.meta.energy)
+
+
+@dataclass(frozen=True)
+class EnergyCapPolicy(SelectionPolicy):
+    """Fastest version within an energy budget per invocation; infeasible
+    budgets fall back to the greenest version."""
+
+    cap: float
+
+    def select(self, table: VersionTable, context: dict | None = None) -> Version:
+        qualifying = [
+            v for v in table if v.meta.energy is not None and v.meta.energy <= self.cap
+        ]
+        if not qualifying:
+            return GreenestPolicy().select(table, context)
+        return min(qualifying, key=lambda v: v.meta.time)
+
+    def describe(self) -> str:
+        return f"energy_cap({self.cap:g}J)"
+
+
+_NAMED = {
+    "fastest": FastestPolicy,
+    "efficient": MostEfficientPolicy,
+    "balanced": lambda: WeightedSumPolicy(0.5, 0.5),
+    "greenest": GreenestPolicy,
+}
+
+
+def policy_by_name(name: str) -> SelectionPolicy:
+    """Construct a policy from a short name (``fastest``, ``efficient``,
+    ``balanced``)."""
+    try:
+        return _NAMED[name]()
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; available: {sorted(_NAMED)}") from None

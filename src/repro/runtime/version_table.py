@@ -1,0 +1,74 @@
+"""The in-process version table.
+
+Mirrors the statically generated C table (paper Fig. 6): one entry per
+Pareto-optimal code version, carrying the callable (from
+:mod:`repro.backend.pygen`) and the trade-off metadata the selection
+policies consult.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend.meta import VersionMeta
+
+__all__ = ["Version", "VersionTable"]
+
+
+@dataclass(frozen=True)
+class Version:
+    """One executable code version with its metadata."""
+
+    meta: VersionMeta
+    fn: Callable[[dict[str, np.ndarray], dict[str, int]], None] | None = None
+
+    def __call__(self, arrays: dict[str, np.ndarray], scalars: dict[str, int]) -> None:
+        if self.fn is None:
+            raise RuntimeError(
+                f"version {self.meta.index} has no executable body "
+                "(metadata-only table)"
+            )
+        self.fn(arrays, scalars)
+
+
+@dataclass
+class VersionTable:
+    """All versions of one tuned region, ordered by index."""
+
+    region_name: str
+    versions: tuple[Version, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.versions:
+            raise ValueError("a version table needs at least one version")
+        indices = [v.meta.index for v in self.versions]
+        if indices != sorted(set(indices)):
+            raise ValueError(f"version indices must be unique and sorted: {indices}")
+
+    def __len__(self) -> int:
+        return len(self.versions)
+
+    def __iter__(self):
+        return iter(self.versions)
+
+    def __getitem__(self, index: int) -> Version:
+        for v in self.versions:
+            if v.meta.index == index:
+                return v
+        raise IndexError(f"no version with index {index}")
+
+    @property
+    def metas(self) -> list[VersionMeta]:
+        return [v.meta for v in self.versions]
+
+    def pareto_summary(self) -> str:
+        return "\n".join(v.meta.describe() for v in self.versions)
+
+    def fastest(self) -> Version:
+        return min(self.versions, key=lambda v: v.meta.time)
+
+    def most_efficient(self) -> Version:
+        return min(self.versions, key=lambda v: v.meta.resources)

@@ -1,0 +1,115 @@
+"""Loop collapsing (coalescing) of adjacent perfectly nested loops.
+
+The paper applies collapsing to the two outermost tile loops before
+parallelizing: with large tiles the outer tile loop alone has too few
+iterations to balance across many threads (§II, §IV).  Collapsing the
+``i``/``j`` tile loops multiplies the worksharing iteration count.
+
+``collapse(nest, 2)`` rewrites
+
+.. code-block:: none
+
+    for i_t in [li, Ui) step Ti:
+      for j_t in [lj, Uj) step Tj: S(i_t, j_t)
+
+into
+
+.. code-block:: none
+
+    for c in [0, nti*ntj) step 1:          # nti = ceil((Ui-li)/Ti), ...
+        S(li + (c / ntj)*Ti, lj + (c % ntj)*Tj)
+
+The collapsed loop carries the annotation ``("collapsed", (v1, v2, ...))``
+and ``("collapsed_trips", (expr1, expr2, ...))`` with per-loop trip-count
+expressions, which the backends use for emitting OpenMP ``collapse`` or the
+explicit index recovery shown above.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import block
+from repro.ir.nodes import Block, Expr, For, IntLit, Stmt, Var
+from repro.ir.visitors import loop_nest, substitute
+
+__all__ = ["collapse", "COLLAPSE_VAR"]
+
+COLLAPSE_VAR = "cidx"
+
+
+def _trip_expr(lp: For) -> Expr:
+    """Ceil-div trip count ``ceil((upper-lower)/step)`` as an IR expression
+    (exact integer arithmetic given runtime values)."""
+    span = lp.upper - lp.lower
+    if isinstance(lp.step, IntLit) and lp.step.value == 1:
+        return span
+    return (span + lp.step - 1) // lp.step
+
+
+def collapse(nest_root: For, count: int) -> For:
+    """Collapse the *count* outermost loops of the perfect nest into one.
+
+    The loops must be perfectly nested (each body a single statement — the
+    next loop).  Bounds of inner loops must not depend on outer collapsed
+    loop variables (rectangular band), which holds for tile loops.
+
+    :raises ValueError: if fewer than *count* perfectly nested loops exist
+        or the band is not rectangular.
+    """
+    if count < 2:
+        raise ValueError("collapse needs at least 2 loops")
+    loops = loop_nest(nest_root)
+    if len(loops) < count:
+        raise ValueError(
+            f"cannot collapse {count} loops: nest has only {len(loops)}"
+        )
+    band = loops[:count]
+    band_vars = [lp.var for lp in band]
+    for lp in band[1:]:
+        free = _bound_vars(lp)
+        overlap = free & set(band_vars)
+        if overlap:
+            raise ValueError(
+                f"collapse band not rectangular: bounds of {lp.var!r} depend on {overlap}"
+            )
+
+    inner_body: Stmt = band[-1].body
+
+    trips = [_trip_expr(lp) for lp in band]
+    c = Var(COLLAPSE_VAR)
+
+    # index recovery: for band (v0, v1, ..., v_{n-1}) with trips (n0..n_{n-1})
+    #   v_{n-1} = l_{n-1} + (c % n_{n-1}) * s_{n-1}
+    #   v_{n-2} = l_{n-2} + ((c / n_{n-1}) % n_{n-2}) * s_{n-2}
+    #   ...
+    mapping: dict[str, Expr] = {}
+    quotient: Expr = c
+    for lp, trip in zip(reversed(band), reversed(trips)):
+        idx = quotient % trip
+        recovered = lp.lower + idx * lp.step
+        mapping[lp.var] = recovered
+        quotient = quotient // trip
+
+    new_body = substitute(inner_body, mapping)
+
+    total: Expr = trips[0]
+    for t in trips[1:]:
+        total = total * t
+
+    return For(
+        var=COLLAPSE_VAR,
+        lower=IntLit(0),
+        upper=total,
+        step=IntLit(1),
+        body=new_body if isinstance(new_body, Block) else Block((new_body,)),  # type: ignore[arg-type]
+        annotations=(
+            ("collapsed", tuple(band_vars)),
+            ("collapsed_trips", tuple(trips)),
+            ("collapsed_loops", tuple(band)),
+        ),
+    )
+
+
+def _bound_vars(lp: For) -> set[str]:
+    from repro.ir.visitors import free_vars
+
+    return free_vars(lp.lower) | free_vars(lp.upper) | free_vars(lp.step)

@@ -1,0 +1,144 @@
+"""Loop fusion and fission (distribution).
+
+The paper cites fusion and fission among the transformations that "can not
+be realized using parameterized code" (§IV) — one more reason for
+multi-versioning.  This module provides both, with dependence-based
+legality checks:
+
+* :func:`fuse` merges two adjacent loops with identical headers into one;
+  legal iff no dependence between the bodies is reversed by the merge —
+  i.e. for every write in one body and access to the same array in the
+  other, the fused execution order must not flip a cross-iteration
+  dependence direction.  The conservative test implemented here admits
+  identical-subscript and loop-invariant patterns and rejects negative
+  offsets (a read of ``A[i+1]`` in the second loop against a write of
+  ``A[i]`` in the first would be broken by fusion).
+* :func:`fission` splits a loop whose body holds several statements into
+  one loop per statement; legal iff no dependence runs backwards between
+  the split statements (a statement must not read what a *later* statement
+  wrote in the same iteration's future — which plain statement order
+  already precludes for the admitted forward dependences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.analysis.polyhedral import access_functions, affine_of
+from repro.ir.nodes import Block, For, Stmt
+from repro.ir.visitors import loop_vars
+
+__all__ = ["can_fuse", "fuse", "fission"]
+
+
+def _headers_match(a: For, b: For) -> bool:
+    return (
+        a.var == b.var
+        and a.lower == b.lower
+        and a.upper == b.upper
+        and a.step == b.step
+    )
+
+
+def can_fuse(first: For, second: For) -> bool:
+    """Conservative fusion legality for two adjacent same-header loops.
+
+    After fusion, iteration ``i`` of the second body runs *before*
+    iterations ``j > i`` of the first body.  Any dependence from the first
+    loop's writes to the second loop's accesses (or vice versa) with a
+    positive distance in the fused index would be reversed; we admit only
+    pairs whose subscripts in the shared index differ by a non-positive
+    offset (second reads data the first produced in the same or an earlier
+    iteration)."""
+    if not _headers_match(first, second):
+        return False
+    shared = first.var
+
+    first_acc = access_functions(first.body)
+    second_acc = access_functions(second.body)
+
+    for a in first_acc:
+        for b in second_acc:
+            if a.array != b.array:
+                continue
+            if not (a.is_write or b.is_write):
+                continue
+            if not (a.is_affine and b.is_affine):
+                return False
+            if a.linear_part() != b.linear_part():
+                return False
+            for sa, sb in zip(a.subscripts, b.subscripts):
+                assert sa is not None and sb is not None
+                if sa.coeff(shared) == 0 and sb.coeff(shared) == 0:
+                    if sa.const != sb.const and (a.is_write and b.is_write):
+                        continue
+                    continue
+                # offset of the second access relative to the first in the
+                # fused loop's index: positive means the second loop touches
+                # *future* iterations' data of the first loop -> illegal
+                delta = sb.const - sa.const
+                coeff = sa.coeff(shared)
+                if coeff == 0:
+                    return False
+                if (delta / coeff) > 0:
+                    return False
+    return True
+
+
+def fuse(first: For, second: For) -> For:
+    """Fuse two adjacent loops with identical headers into one loop whose
+    body concatenates both bodies.
+
+    :raises ValueError: if the headers differ or :func:`can_fuse` rejects
+        the pair."""
+    if not _headers_match(first, second):
+        raise ValueError(
+            f"cannot fuse loops with different headers: {first.var!r} vs {second.var!r}"
+        )
+    if not can_fuse(first, second):
+        raise ValueError("fusion would reverse a dependence")
+    body = Block(tuple(first.body.stmts) + tuple(second.body.stmts))
+    return dc_replace(first, body=body, annotations=first.annotations + (("fused", True),))
+
+
+def fission(loop: For) -> list[For]:
+    """Distribute a loop over the statements of its body (one loop per
+    statement, original order).
+
+    Legal for the forward-dependence bodies the IR's statement order
+    already implies: statement ``k`` may consume what statements ``< k``
+    produced in the same iteration — after fission the earlier statement's
+    *whole loop* runs first, which preserves those values.  What breaks
+    fission is a *backward* loop-carried dependence (statement ``k``
+    consuming what a later statement produced in an earlier iteration);
+    the conservative check rejects any array written by a later statement
+    and read by an earlier one.
+
+    :raises ValueError: if the body has fewer than two statements or the
+        backward-dependence check fails."""
+    if not isinstance(loop.body, Block) or len(loop.body.stmts) < 2:
+        raise ValueError("fission needs a loop body with at least two statements")
+    stmts = loop.body.stmts
+
+    for idx, earlier in enumerate(stmts):
+        reads = {
+            acc.array for acc in access_functions_of(earlier) if not acc.is_write
+        }
+        for later in stmts[idx + 1 :]:
+            writes = {
+                acc.array for acc in access_functions_of(later) if acc.is_write
+            }
+            if reads & writes:
+                raise ValueError(
+                    f"fission would break a backward dependence on {sorted(reads & writes)}"
+                )
+
+    return [
+        dc_replace(loop, body=Block((s,)), annotations=loop.annotations + (("fissioned", idx),))
+        for idx, s in enumerate(stmts)
+    ]
+
+
+def access_functions_of(stmt: Stmt):
+    """Access functions of a single statement (helper shared with tests)."""
+    return access_functions(stmt)

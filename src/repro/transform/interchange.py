@@ -1,0 +1,83 @@
+"""Loop interchange on perfect nests, with a dependence-based legality check."""
+
+from __future__ import annotations
+
+from repro.ir.nodes import Block, For, Stmt
+from repro.ir.visitors import loop_nest, perfect_nest
+from repro.analysis.dependence import Dependence
+
+__all__ = ["interchange", "can_interchange", "permute"]
+
+
+def can_interchange(
+    deps: list[Dependence], lvars: list[str], var_a: str, var_b: str
+) -> bool:
+    """Interchanging two loops is legal iff no dependence direction vector
+    becomes lexicographically negative under the swap.
+
+    Reduction self-dependences are exempt (associative reordering)."""
+    order = list(lvars)
+    ia, ib = order.index(var_a), order.index(var_b)
+    order[ia], order[ib] = order[ib], order[ia]
+    perm = [lvars.index(v) for v in order]
+    for dep in deps:
+        if dep.is_reduction:
+            continue
+        swapped = [dep.directions[p] for p in perm]
+        for d in swapped:
+            if d == "=":
+                continue
+            if d in (">", "*"):
+                return False
+            break  # leading '<' keeps the vector positive
+    return True
+
+
+def interchange(nest_root: For, var_a: str, var_b: str) -> For:
+    """Swap the positions of two loops in a perfect nest (pure rewrite)."""
+    loops, body = perfect_nest(nest_root)
+    lvars = [lp.var for lp in loops]
+    if var_a not in lvars or var_b not in lvars:
+        raise ValueError(f"loops {var_a!r}/{var_b!r} not found in nest {lvars}")
+    order = list(lvars)
+    ia, ib = order.index(var_a), order.index(var_b)
+    order[ia], order[ib] = order[ib], order[ia]
+    return permute(nest_root, order)
+
+
+def permute(nest_root: For, new_order: list[str]) -> For:
+    """Rebuild the perfect nest with loops in *new_order* (outermost first).
+
+    Bounds must be invariant to the permuted band (rectangular nests), which
+    the kernels in scope satisfy; violated invariance raises ``ValueError``.
+    """
+    loops, body = perfect_nest(nest_root)
+    by_var = {lp.var: lp for lp in loops}
+    if sorted(new_order) != sorted(by_var):
+        raise ValueError(
+            f"permutation {new_order} does not match nest loops {sorted(by_var)}"
+        )
+    from repro.ir.visitors import free_vars
+
+    band = set(new_order)
+    for lp in loops:
+        bound_free = free_vars(lp.lower) | free_vars(lp.upper) | free_vars(lp.step)
+        if bound_free & band:
+            raise ValueError(
+                f"cannot permute: bounds of {lp.var!r} depend on band loops"
+            )
+
+    inner: Stmt = body if isinstance(body, Block) else Block((body,))
+    for var in reversed(new_order):
+        lp = by_var[var]
+        inner = For(
+            var=lp.var,
+            lower=lp.lower,
+            upper=lp.upper,
+            step=lp.step,
+            body=inner if isinstance(inner, Block) else Block((inner,)),
+            parallel=lp.parallel,
+            annotations=lp.annotations,
+        )
+    assert isinstance(inner, For)
+    return inner

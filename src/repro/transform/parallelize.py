@@ -1,0 +1,27 @@
+"""Marking loops for parallel (worksharing) execution."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.ir.nodes import For
+
+__all__ = ["parallelize"]
+
+
+def parallelize(loop: For, num_threads: int | str | None = None) -> For:
+    """Mark *loop* parallel; optionally pin the thread count.
+
+    The thread count annotation is what the multi-versioning backend bakes
+    into each generated version (the paper tunes it as a first-class
+    parameter alongside tile sizes).  A *string* thread count names a
+    runtime variable — the parameterized backend's case."""
+    out = replace(loop, parallel=True)
+    if num_threads is not None:
+        if isinstance(num_threads, str):
+            out = out.with_annotation("num_threads", num_threads)
+        else:
+            if num_threads < 1:
+                raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+            out = out.with_annotation("num_threads", int(num_threads))
+    return out

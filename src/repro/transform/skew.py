@@ -1,0 +1,121 @@
+"""Loop skewing.
+
+Skewing replaces an inner loop index ``j`` by ``j' = j + f·i`` (iterating
+``j'`` over shifted bounds and recovering ``j = j' − f·i`` in the body).
+It never changes the execution order by itself, but it transforms
+dependence vectors: a wavefront dependence ``(1, −1)`` becomes
+``(1, f−1)`` — non-negative for ``f ≥ 1`` — turning an untilable loop pair
+into a fully permutable (tilable) band.  This is the classic enabling
+transformation for stencils with carried dependences (Gauss-Seidel,
+wavefront recurrences), rounding out the transformation toolbox the
+paper's skeletons draw from.
+
+Limitations (by design, matching the rectangular-nest scope of the rest of
+the pipeline): the skewed nest's inner bounds become parallelogram-shaped
+(``lower + f·i ≤ j' < upper + f·i``); downstream consumers that assume
+rectangular domains (the brute-force grid, the cost model's extents) treat
+the skewed loop conservatively via its bounding box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.analysis.dependence import Dependence
+from repro.ir.builder import block
+from repro.ir.nodes import Block, For, IntLit, Stmt, Var
+from repro.ir.visitors import loop_nest, substitute
+
+__all__ = ["skew", "skewed_directions", "skew_factor_for_band"]
+
+
+def skew(nest_root: For, outer: str, inner: str, factor: int) -> For:
+    """Skew loop *inner* by ``factor ×`` loop *outer*.
+
+    The inner loop's index becomes ``inner + factor·outer`` (bounds shifted
+    accordingly); every use of ``inner`` in the body reads
+    ``inner' − factor·outer``.  Execution order is unchanged, so the
+    transformation is always legal on its own.
+    """
+    if factor == 0:
+        return nest_root
+    loops = loop_nest(nest_root)
+    lvars = [lp.var for lp in loops]
+    if outer not in lvars or inner not in lvars:
+        raise ValueError(f"loops {outer!r}/{inner!r} not found in nest {lvars}")
+    if lvars.index(outer) >= lvars.index(inner):
+        raise ValueError(f"{outer!r} must enclose {inner!r}")
+
+    ov = Var(outer)
+
+    def rewrite(stmt: Stmt) -> Stmt:
+        if isinstance(stmt, For) and stmt.var == inner:
+            new_lower = stmt.lower + ov * factor
+            new_upper = stmt.upper + ov * factor
+            body = substitute(stmt.body, {inner: Var(inner) - ov * factor})
+            return dc_replace(
+                stmt,
+                lower=new_lower,
+                upper=new_upper,
+                body=body if isinstance(body, Block) else Block((body,)),  # type: ignore[arg-type]
+                annotations=stmt.annotations + (("skewed_by", (outer, factor)),),
+            )
+        if isinstance(stmt, For):
+            inner_body = rewrite(stmt.body)
+            return dc_replace(
+                stmt,
+                body=inner_body if isinstance(inner_body, Block) else Block((inner_body,)),  # type: ignore[arg-type]
+            )
+        if isinstance(stmt, Block):
+            return Block(tuple(rewrite(s) for s in stmt.stmts))
+        return stmt
+
+    out = rewrite(nest_root)
+    assert isinstance(out, For)
+    return out
+
+
+def skewed_directions(
+    dep: Dependence, lvars: list[str], outer: str, inner: str, factor: int
+) -> tuple[str, ...]:
+    """Dependence directions after skewing, from exact distances.
+
+    The skew maps distance ``(…, d_o, …, d_i, …)`` to
+    ``(…, d_o, …, d_i + factor·d_o, …)``.  Entries without exact distances
+    stay as they are except that a ``'>'`` inner entry with a known outer
+    distance can flip sign; those conservative cases return ``'*'``.
+    """
+    oi, ii = lvars.index(outer), lvars.index(inner)
+    dirs = list(dep.directions)
+    if dep.distance is None:
+        return tuple(dirs)
+    d_o = dep.distance[oi]
+    d_i = dep.distance[ii]
+    if d_i is None or d_o is None:
+        if dirs[ii] != "=":
+            dirs[ii] = "*"
+        return tuple(dirs)
+    new_di = d_i + factor * d_o
+    dirs[ii] = "=" if new_di == 0 else ("<" if new_di > 0 else ">")
+    return tuple(dirs)
+
+
+def skew_factor_for_band(deps: list[Dependence], lvars: list[str], outer: str, inner: str) -> int | None:
+    """The smallest non-negative skew factor making every dependence's
+    (outer, inner) direction pair non-negative, or ``None`` if none ≤ 8
+    works (needs exact distances on the inner entries)."""
+    for factor in range(0, 9):
+        ok = True
+        for dep in deps:
+            if dep.is_reduction:
+                continue
+            dirs = skewed_directions(dep, lvars, outer, inner, factor)
+            for v in (outer, inner):
+                if dirs[lvars.index(v)] in (">", "*"):
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            return factor
+    return None

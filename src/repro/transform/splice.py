@@ -1,0 +1,56 @@
+"""Structural splicing: replacing a region's nest inside its function.
+
+Regions carry a structural *path* (see
+:class:`repro.analysis.regions.TunableRegion`): a sequence of child indices
+starting at the function body, where a ``Block`` child index selects a
+statement and a ``For`` has its body block at index 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.ir.nodes import Block, For, Function, Stmt
+
+__all__ = ["stmt_at_path", "replace_at_path"]
+
+
+def stmt_at_path(function: Function, path: tuple[int, ...]) -> Stmt:
+    """The statement at *path* within *function*'s body."""
+    node: Stmt = function.body
+    for idx in path:
+        if isinstance(node, Block):
+            node = node.stmts[idx]
+        elif isinstance(node, For):
+            if idx != 0:
+                raise IndexError(f"For nodes have a single child (body) at 0, got {idx}")
+            node = node.body
+        else:
+            raise IndexError(f"path descends into a leaf at {node!r}")
+    return node
+
+
+def replace_at_path(function: Function, path: tuple[int, ...], new_stmt: Stmt) -> Function:
+    """A copy of *function* with the statement at *path* replaced."""
+
+    def rebuild(node: Stmt, remaining: tuple[int, ...]) -> Stmt:
+        if not remaining:
+            return new_stmt
+        idx, rest = remaining[0], remaining[1:]
+        if isinstance(node, Block):
+            stmts = list(node.stmts)
+            stmts[idx] = rebuild(stmts[idx], rest)
+            return Block(tuple(stmts))
+        if isinstance(node, For):
+            if idx != 0:
+                raise IndexError(f"For nodes have a single child (body) at 0, got {idx}")
+            new_body = rebuild(node.body, rest)
+            if not isinstance(new_body, Block):
+                new_body = Block((new_body,))
+            return dc_replace(node, body=new_body)
+        raise IndexError(f"path descends into a leaf at {node!r}")
+
+    new_body = rebuild(function.body, path)
+    if not isinstance(new_body, Block):
+        new_body = Block((new_body,))
+    return dc_replace(function, body=new_body)

@@ -1,0 +1,70 @@
+"""Loop unrolling.
+
+Unrolling is one of the transformations the paper names as requiring
+multi-versioning rather than parameterization (§IV: "there are some
+transformations such as loop unrolling, fission and fusion which can not be
+realized using parameterized code") — which is why the framework fixes the
+factor per generated version.
+
+``unroll(loop, factor)`` produces a main loop stepping by ``factor`` with the
+body replicated (indices substituted) plus a remainder loop::
+
+    for v in [lo, lo + ((hi-lo)/f)*f) step f: body(v); body(v+1); ... body(v+f-1)
+    for v in [lo + ((hi-lo)/f)*f, hi): body(v)
+
+The result is a Block (two loops), so unrolling is applied innermost-last.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import block
+from repro.ir.nodes import Block, For, IntLit, Stmt, Var
+from repro.ir.visitors import substitute
+
+__all__ = ["unroll"]
+
+
+def unroll(loop: For, factor: int) -> Stmt:
+    """Unroll *loop* by *factor*; returns the original loop for factor 1.
+
+    Requires unit step.  The trip count need not be a multiple of the
+    factor — a remainder loop covers the tail.
+    """
+    if factor < 1:
+        raise ValueError(f"unroll factor must be >= 1, got {factor}")
+    if factor == 1:
+        return loop
+    if not (isinstance(loop.step, IntLit) and loop.step.value == 1):
+        raise ValueError("only unit-step loops can be unrolled")
+
+    v = Var(loop.var)
+    span = loop.upper - loop.lower
+    main_trip = (span // factor) * factor
+    main_upper = loop.lower + main_trip
+
+    bodies: list[Stmt] = []
+    for offset in range(factor):
+        replica = substitute(loop.body, {loop.var: v + offset}) if offset else loop.body
+        if isinstance(replica, Block):
+            bodies.extend(replica.stmts)
+        else:
+            bodies.append(replica)  # type: ignore[arg-type]
+
+    main = For(
+        var=loop.var,
+        lower=loop.lower,
+        upper=main_upper,
+        step=IntLit(factor),
+        body=Block(tuple(bodies)),
+        parallel=loop.parallel,
+        annotations=loop.annotations + (("unrolled", factor),),
+    )
+    remainder = For(
+        var=loop.var,
+        lower=main_upper,
+        upper=loop.upper,
+        step=IntLit(1),
+        body=loop.body,
+        annotations=loop.annotations + (("unroll_remainder", factor),),
+    )
+    return block(main, remainder)

@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG handling, statistics, table formatting."""
+
+from repro.util.rng import derive_rng, spawn_seed
+from repro.util.stats import median, mean, geomean, relative_loss
+from repro.util.tables import Table
+
+__all__ = [
+    "derive_rng",
+    "spawn_seed",
+    "median",
+    "mean",
+    "geomean",
+    "relative_loss",
+    "Table",
+]

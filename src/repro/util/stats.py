@@ -1,0 +1,61 @@
+"""Small statistics helpers used by the measurement protocol and reports."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = ["median", "mean", "geomean", "relative_loss", "summarize"]
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence (lower middle for even length avoided:
+    the conventional average of the two central elements is returned)."""
+    xs = sorted(values)
+    if not xs:
+        raise ValueError("median of empty sequence")
+    n = len(xs)
+    mid = n // 2
+    if n % 2:
+        return float(xs[mid])
+    return 0.5 * (xs[mid - 1] + xs[mid])
+
+
+def mean(values: Iterable[float]) -> float:
+    xs = list(values)
+    if not xs:
+        raise ValueError("mean of empty sequence")
+    return sum(xs) / len(xs)
+
+
+def geomean(values: Iterable[float]) -> float:
+    xs = list(values)
+    if not xs:
+        raise ValueError("geomean of empty sequence")
+    if any(x <= 0 for x in xs):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(x) for x in xs) / len(xs))
+
+
+def relative_loss(value: float, best: float) -> float:
+    """Relative performance loss of *value* over *best* in percent.
+
+    Matches the paper's Table II convention: running a configuration tuned
+    for a different thread count that takes ``value`` seconds instead of the
+    per-count optimum ``best`` incurs ``100 * (value / best - 1)`` % loss.
+    """
+    if best <= 0:
+        raise ValueError("best must be positive")
+    return 100.0 * (value / best - 1.0)
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Return min/median/mean/max of a sample as a dict (for reports)."""
+    xs = sorted(values)
+    return {
+        "min": float(xs[0]),
+        "median": median(xs),
+        "mean": mean(xs),
+        "max": float(xs[-1]),
+        "n": float(len(xs)),
+    }

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.regions import extract_regions
+from repro.evaluation.cost import RegionCostModel
+from repro.evaluation.simulator import SimulatedTarget
+from repro.frontend.kernels import ALL_KERNELS, get_kernel
+from repro.machine.model import BARCELONA, WESTMERE
+
+
+@pytest.fixture(params=sorted(ALL_KERNELS))
+def kernel(request):
+    """Parametrized over all five benchmark kernels."""
+    return get_kernel(request.param)
+
+
+@pytest.fixture(params=[WESTMERE, BARCELONA], ids=lambda m: m.name)
+def machine(request):
+    return request.param
+
+
+@pytest.fixture
+def mm_region():
+    return extract_regions(get_kernel("mm").function)[0]
+
+
+@pytest.fixture
+def mm_model(mm_region):
+    return RegionCostModel(mm_region, {"N": 1400}, WESTMERE)
+
+
+@pytest.fixture
+def mm_target(mm_model):
+    return SimulatedTarget(mm_model, seed=0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,237 @@
+"""Tests for the analysis package: polyhedral abstractions, dependences,
+regions, features."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    AffineExpr,
+    affine_of,
+    access_functions,
+    analyze_dependences,
+    analyze_features,
+    extract_regions,
+    iteration_domain,
+    parallel_loops,
+    tilable_band,
+)
+from repro.analysis.dependence import DependenceKind
+from repro.frontend import get_kernel, parse_function
+from repro.ir.builder import assign, block, loop, var, func, array, param
+from repro.ir.types import I64
+
+
+class TestAffine:
+    def test_var(self):
+        a = affine_of(var("i"))
+        assert a is not None and a.coeff("i") == 1
+
+    def test_linear_combination(self):
+        a = affine_of(var("i") * 2 + var("j") - 3)
+        assert a.coeff("i") == 2 and a.coeff("j") == 1 and a.const == -3
+
+    def test_const_times_var(self):
+        a = affine_of(3 * var("k"))
+        assert a.coeff("k") == 3
+
+    def test_var_times_var_not_affine(self):
+        assert affine_of(var("i") * var("j")) is None
+
+    def test_division_not_affine(self):
+        assert affine_of(var("i") / 2) is None
+
+    def test_float_not_affine(self):
+        from repro.ir.builder import f
+
+        assert affine_of(f(1.5)) is None
+
+    def test_arith(self):
+        a = AffineExpr.make({"i": 1}, 2)
+        b = AffineExpr.make({"i": -1, "j": 3}, 1)
+        s = a + b
+        assert s.coeff("i") == 0 and s.coeff("j") == 3 and s.const == 3
+        assert (a - a).is_constant()
+
+    def test_evaluate(self):
+        a = AffineExpr.make({"i": 2}, 5)
+        assert a.evaluate({"i": 10}) == 25
+
+    def test_restrict(self):
+        a = AffineExpr.make({"i": 1, "j": 2}, 7)
+        r = a.restrict({"i"})
+        assert r.coeff("j") == 0 and r.coeff("i") == 1 and r.const == 7
+
+
+class TestDomains:
+    def test_mm_domain(self, mm_region):
+        dom = mm_region.domain
+        assert dom.vars == ("i", "j", "k")
+        assert dom.size({"N": 10}) == 1000
+        assert dom.extent("i", {"N": 7}) == 7
+
+    def test_shifted_bounds(self):
+        k = get_kernel("jacobi2d")
+        region = extract_regions(k.function)[0]
+        assert region.domain.extent("i", {"N": 10}) == 8  # [1, N-1)
+
+    def test_trip_count_empty(self):
+        nest = loop("i", 5, 3, assign(var("A")[var("i")], 0.0))
+        dom = iteration_domain(nest)
+        assert dom.size({}) == 0
+
+
+class TestAccessFunctions:
+    def test_mm_accesses(self, mm_region):
+        accs = access_functions(mm_region.nest)
+        by_array = {}
+        for a in accs:
+            by_array.setdefault(a.array, []).append(a)
+        assert set(by_array) == {"A", "B", "C"}
+        writes = [a for a in accs if a.is_write]
+        assert len(writes) == 1 and writes[0].array == "C"
+
+    def test_affine_flags(self, mm_region):
+        for a in access_functions(mm_region.nest):
+            assert a.is_affine
+
+    def test_nonaffine_subscript_detected(self):
+        i = var("i")
+        nest = loop("i", 0, "N", assign(var("A")[i * i], 0.0))
+        accs = access_functions(nest)
+        assert not accs[0].is_affine
+
+
+class TestDependence:
+    def test_mm_reduction_dependence(self, mm_region):
+        deps = analyze_dependences(mm_region.nest)
+        # the k-carried accumulation shows up twice: the flow dependence of
+        # the read-modify-write and the output self-dependence of the write
+        assert len(deps) == 2
+        kinds = {d.kind for d in deps}
+        assert kinds == {DependenceKind.FLOW, DependenceKind.OUTPUT}
+        for dep in deps:
+            assert dep.array == "C" and dep.is_reduction
+            assert dep.directions[:2] == ("=", "=")
+
+    def test_mm_band_and_parallel(self, mm_region):
+        assert tilable_band(mm_region.nest) == ["i", "j", "k"]
+        assert parallel_loops(mm_region.nest) == ["i", "j"]
+
+    def test_stencil_no_deps(self):
+        k = get_kernel("stencil3d")
+        region = extract_regions(k.function)[0]
+        assert analyze_dependences(region.nest) == []
+        assert parallel_loops(region.nest) == ["i", "j", "k"]
+
+    def test_nbody_reduction_over_j(self):
+        k = get_kernel("nbody")
+        region = extract_regions(k.function)[0]
+        assert parallel_loops(region.nest) == ["i"]
+        assert tilable_band(region.nest) == ["i", "j"]
+
+    def test_true_recurrence_blocks_parallelism(self):
+        # A[i] = A[i-1] + 1: carried flow dependence at i
+        i = var("i")
+        nest = loop("i", 1, "N", assign(var("A")[i], var("A")[i - 1] + 1.0))
+        deps = analyze_dependences(nest)
+        assert len(deps) >= 1
+        assert parallel_loops(nest) == []
+        # distance +1 is non-negative: still tilable (a legal band)
+        assert tilable_band(nest) == ["i"]
+
+    def test_negative_distance_normalized(self):
+        # A[i] = A[i+1]: anti-dependence; direction must normalize to '<'
+        i = var("i")
+        nest = loop("i", 0, var("N") - 1, assign(var("A")[i], var("A")[i + 1] + 0.0))
+        deps = analyze_dependences(nest)
+        assert len(deps) == 1
+        assert deps[0].directions == ("<",)
+
+    def test_constant_offset_independence(self):
+        # A[2i] = A[2i+1]: GCD test proves independence
+        i = var("i")
+        nest = loop("i", 0, "N", assign(var("A")[i * 2], var("A")[i * 2 + 1] + 0.0))
+        assert analyze_dependences(nest) == []
+
+    def test_wavefront_dependence_limits_band(self):
+        # A[i][j] = A[i-1][j+1]: directions (<, >) — not fully permutable at j
+        i, j = var("i"), var("j")
+        body = assign(var("A")[i, j], var("A")[i - 1, j + 1] + 0.0)
+        nest = loop("i", 1, "N", loop("j", 0, var("N") - 1, body))
+        band = tilable_band(nest)
+        assert band == ["i"]
+
+    def test_different_arrays_no_dependence(self):
+        i = var("i")
+        nest = loop("i", 0, "N", assign(var("B")[i], var("A")[i] + 0.0))
+        assert analyze_dependences(nest) == []
+
+
+class TestRegions:
+    def test_every_kernel_has_region(self, kernel):
+        regions = extract_regions(kernel.function)
+        assert regions, kernel.name
+        region = regions[0]
+        # the kernel's tuned loops are always inside the analyzed band
+        # (n-body tiles only its reduction dimension j)
+        assert set(kernel.tile_loops) <= set(region.tile_band)
+
+    def test_jacobi_two_regions_with_sweep(self):
+        k = get_kernel("jacobi2d")
+        regions = extract_regions(k.function)
+        assert len(regions) == 2
+        assert all(r.sweep_loops == ("t",) for r in regions)
+
+    def test_parallel_candidate(self, mm_region):
+        assert mm_region.parallel_candidate() == "i"
+
+    def test_region_path_splice_roundtrip(self, mm_region):
+        from repro.transform import replace_at_path, stmt_at_path
+
+        fn = mm_region.function
+        nest = stmt_at_path(fn, mm_region.path)
+        assert nest is mm_region.nest
+        fn2 = replace_at_path(fn, mm_region.path, nest)
+        assert fn2 == fn
+
+    def test_region_names_unique(self):
+        k = get_kernel("jacobi2d")
+        names = [r.name for r in extract_regions(k.function)]
+        assert len(set(names)) == len(names)
+
+
+class TestFeatures:
+    def test_mm_flops(self, mm_region):
+        feats = analyze_features(mm_region, {"N": 10})
+        assert feats.flops_per_iteration == 2
+        assert feats.total_iterations == 1000
+        assert feats.total_flops == 2000
+
+    def test_jacobi_sweep_factor(self):
+        k = get_kernel("jacobi2d")
+        region = extract_regions(k.function)[0]
+        feats = analyze_features(region, {"N": 10, "T": 7})
+        assert feats.sweep_factor == 7
+
+    def test_footprints(self, mm_region):
+        feats = analyze_features(mm_region, {"N": 10})
+        assert feats.footprint_bytes == {"A": 800, "B": 800, "C": 800}
+        assert feats.total_footprint == 2400
+
+    def test_nbody_flops_counts_cse_once(self):
+        k = get_kernel("nbody")
+        region = extract_regions(k.function)[0]
+        feats = analyze_features(region, {"n": 8})
+        # dx,dy,dz + squares + sums + rsqrt3 + 3 fused mul-add: ~23, far
+        # below the naive double-counted walk (which would exceed 40)
+        assert 15 <= feats.flops_per_iteration <= 30
+
+    def test_table_iv_complexities(self):
+        """The Table IV classes hold computationally: flops scale like the
+        documented complexity when sizes double."""
+        k = get_kernel("mm")
+        region = extract_regions(k.function)[0]
+        f1 = analyze_features(region, {"N": 8}).total_flops
+        f2 = analyze_features(region, {"N": 16}).total_flops
+        assert f2 / f1 == pytest.approx(8.0)  # O(N^3)

@@ -1,0 +1,219 @@
+"""Tests for the code-generation backends: C emitter, multi-versioning,
+Python compilation."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_regions
+from repro.backend import (
+    VersionMeta,
+    build_multiversion_c,
+    compile_function,
+    function_to_c,
+)
+from repro.backend.cgen import expr_to_c
+from repro.backend.pygen import function_to_python
+from repro.frontend import get_kernel
+from repro.ir.builder import assign, c as ic, loop, var
+from repro.ir.interp import run_function
+from repro.ir.nodes import Call, Min
+from repro.transform import default_skeleton
+
+HAVE_GCC = shutil.which("gcc") is not None
+
+
+def gcc_check(source: str) -> None:
+    with tempfile.NamedTemporaryFile(suffix=".c", mode="w", delete=False) as f:
+        f.write(source)
+        path = f.name
+    try:
+        result = subprocess.run(
+            ["gcc", "-std=c99", "-fsyntax-only", "-fopenmp", "-Wall", "-Werror", path],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+    finally:
+        Path(path).unlink()
+
+
+def make_variants(kernel_name="mm", n_versions=3):
+    k = get_kernel(kernel_name)
+    region = extract_regions(k.function)[0]
+    sk = default_skeleton(region, k.test_size, max_threads=8)
+    variants = []
+    for i in range(n_versions):
+        values = {p.name: max(p.lo, min(p.hi, 2 + 2 * i)) for p in sk.parameters}
+        tr = sk.instantiate(values)
+        meta = VersionMeta(
+            index=i,
+            time=0.5 / (i + 1),
+            resources=0.5 * (i + 1),
+            threads=values["threads"],
+            tile_sizes=tr.tile_sizes,
+            values=tuple(sorted(values.items())),
+        )
+        variants.append((tr.apply(), meta))
+    return k, variants
+
+
+class TestExprToC:
+    def test_floor_div_maps_to_int_div(self):
+        assert expr_to_c(var("a") // var("b")) == "a / b"
+
+    def test_min_macro(self):
+        assert expr_to_c(Min(ic(1), ic(2))) == "REPRO_MIN(1, 2)"
+
+    def test_intrinsic_mapping(self):
+        assert expr_to_c(Call("rsqrt3", (var("x"),))) == "repro_rsqrt3(x)"
+
+    def test_unknown_intrinsic_raises(self):
+        with pytest.raises(ValueError):
+            expr_to_c(Call("fancy", ()))
+
+    def test_float_literal_keeps_point(self):
+        from repro.ir.builder import f
+
+        assert expr_to_c(f(1.0)) == "1.0"
+
+    def test_precedence(self):
+        e = (var("a") + var("b")) * ic(2)
+        assert expr_to_c(e) == "(a + b) * 2"
+
+
+class TestFunctionToC:
+    def test_every_kernel_emits(self, kernel):
+        src = function_to_c(kernel.function)
+        assert f"void {kernel.name}(" in src
+
+    @pytest.mark.skipif(not HAVE_GCC, reason="gcc unavailable")
+    def test_plain_kernels_compile(self, kernel):
+        gcc_check(function_to_c(kernel.function))
+
+    @pytest.mark.skipif(not HAVE_GCC, reason="gcc unavailable")
+    def test_tiled_collapsed_parallel_compiles(self):
+        _, variants = make_variants()
+        for fn, meta in variants:
+            gcc_check(function_to_c(fn, name=f"mm_v{meta.index}"))
+
+    def test_parallel_loop_gets_pragma(self):
+        _, variants = make_variants()
+        src = function_to_c(variants[0][0])
+        assert "#pragma omp parallel for" in src
+        assert "num_threads(" in src
+
+
+class TestMultiVersion:
+    def test_unit_contents(self):
+        _, variants = make_variants(n_versions=3)
+        unit = build_multiversion_c("mm", variants)
+        assert unit.kernel == "mm"
+        assert len(unit.versions) == 3
+        for i in range(3):
+            assert f"mm_v{i}" in unit.source
+        assert "mm_versions[]" in unit.source
+        assert "mm_select_version" in unit.source
+        assert "mm_dispatch" in unit.source
+
+    @pytest.mark.skipif(not HAVE_GCC, reason="gcc unavailable")
+    def test_unit_compiles(self):
+        _, variants = make_variants(n_versions=3)
+        gcc_check(build_multiversion_c("mm", variants).source)
+
+    @pytest.mark.skipif(not HAVE_GCC, reason="gcc unavailable")
+    def test_unit_compiles_all_kernels(self, kernel):
+        _, variants = make_variants(kernel.name, n_versions=2)
+        gcc_check(build_multiversion_c(kernel.name, variants).source)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_multiversion_c("mm", [])
+
+    @pytest.mark.skipif(not HAVE_GCC, reason="gcc unavailable")
+    def test_c_selection_logic_executes(self):
+        """Compile and *run* the generated selection helper: the weighted
+        sum must pick the fast version for w=(1,0) and the cheap one for
+        w=(0,1)."""
+        _, variants = make_variants(n_versions=3)
+        unit = build_multiversion_c("mm", variants)
+        driver = (
+            unit.source
+            + """
+#include <stdio.h>
+int main(void) {
+    printf("%d %d\\n", mm_select_version(1.0, 0.0), mm_select_version(0.0, 1.0));
+    return 0;
+}
+"""
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            src = Path(tmp) / "mv.c"
+            exe = Path(tmp) / "mv"
+            src.write_text(driver)
+            build = subprocess.run(
+                ["gcc", "-std=c99", "-O1", str(src), "-o", str(exe), "-lm"],
+                capture_output=True,
+                text=True,
+            )
+            assert build.returncode == 0, build.stderr
+            out = subprocess.run([str(exe)], capture_output=True, text=True)
+            fast, cheap = map(int, out.stdout.split())
+        # metas: time 0.5/(i+1) decreasing, resources 0.5*(i+1) increasing
+        assert fast == 2 and cheap == 0
+
+
+class TestPygen:
+    def test_matches_interpreter(self, kernel, rng):
+        """Compiled Python agrees with the interpreter on the transformed
+        kernel for all five kernels."""
+        region = extract_regions(kernel.function)[0]
+        sk = default_skeleton(region, kernel.test_size, max_threads=4)
+        values = {p.name: max(p.lo, min(p.hi, 3)) for p in sk.parameters}
+        fn = sk.instantiate(values).apply()
+        callable_ = compile_function(fn)
+        inputs = kernel.make_inputs(kernel.test_size, rng)
+        arrs = {k_: v.copy() for k_, v in inputs.items()}
+        callable_(arrs, kernel.test_size)
+        expected = run_function(fn, inputs, kernel.test_size)
+        for name in kernel.output_arrays:
+            assert np.allclose(arrs[name], expected[name]), kernel.name
+
+    def test_source_attached(self):
+        k = get_kernel("mm")
+        fn = compile_function(k.function)
+        assert "def mm(" in fn.__source__
+
+    def test_custom_name(self):
+        k = get_kernel("mm")
+        fn = compile_function(k.function, name="mm_v7")
+        assert fn.__name__ == "mm_v7"
+
+    def test_collapsed_index_recovery_in_python(self, rng):
+        """Collapse introduces // and %; the Python lowering must keep
+        exact integer semantics."""
+        from repro.transform import collapse, tile
+
+        k = get_kernel("mm")
+        region = extract_regions(k.function)[0]
+        nest = collapse(tile(region.nest, {"i": 4, "j": 5, "k": 3}), 2)
+        from repro.transform import replace_at_path
+
+        fn = replace_at_path(k.function, region.path, nest)
+        callable_ = compile_function(fn)
+        inputs = k.make_inputs({"N": 13}, rng)
+        arrs = {k_: v.copy() for k_, v in inputs.items()}
+        callable_(arrs, {"N": 13})
+        ref = k.reference(inputs, {"N": 13})
+        assert np.allclose(arrs["C"], ref["C"])
+
+    def test_python_source_readable(self):
+        k = get_kernel("mm")
+        text = function_to_python(k.function)
+        assert "for i in range(0, N, 1):" in text

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestInfoCommands:
+    def test_kernels(self):
+        code, text = run_cli("kernels")
+        assert code == 0
+        for name in ("mm", "dsyrk", "jacobi2d", "stencil3d", "nbody"):
+            assert name in text
+
+    def test_machines(self):
+        code, text = run_cli("machines")
+        assert code == 0
+        assert "Westmere" in text and "Barcelona" in text
+        assert "30M" in text and "2M" in text
+
+
+class TestTune:
+    def test_tune_kernel(self, tmp_path):
+        json_path = tmp_path / "out.json"
+        c_path = tmp_path / "out.c"
+        code, text = run_cli(
+            "tune", "mm",
+            "--size", "N=300",
+            "--machine", "barcelona",
+            "--seed", "1",
+            "--json", str(json_path),
+            "--emit-c", str(c_path),
+        )
+        assert code == 0
+        assert "mm on Barcelona" in text
+        payload = json.loads(json_path.read_text())
+        assert payload["kernel"] == "mm"
+        assert payload["evaluations"] > 0
+        assert len(payload["front"]) >= 1
+        assert "mm_dispatch" in c_path.read_text()
+
+    def test_tune_with_energy(self):
+        code, text = run_cli("tune", "mm", "--size", "N=200", "--energy")
+        assert code == 0
+
+    def test_tune_random_optimizer(self):
+        code, text = run_cli("tune", "mm", "--size", "N=200", "--optimizer", "random")
+        assert code == 0
+
+    def test_tune_file(self, tmp_path):
+        src = tmp_path / "k.c"
+        src.write_text(
+            """
+            void axpyish(int N, double A[N][N], double B[N][N]) {
+                for (int i = 0; i < N; i++)
+                    for (int j = 0; j < N; j++)
+                        B[i][j] += 2.0 * A[i][j];
+            }
+            """
+        )
+        code, text = run_cli("tune-file", str(src), "--size", "N=2000")
+        assert code == 0
+        assert "axpyish" in text
+
+    def test_tune_file_requires_sizes(self, tmp_path):
+        src = tmp_path / "k.c"
+        src.write_text("void f(int N, double A[N]) { A[0] = 1.0; }")
+        with pytest.raises(SystemExit):
+            run_cli("tune-file", str(src))
+
+    def test_bad_size_format(self):
+        with pytest.raises(SystemExit):
+            run_cli("tune", "mm", "--size", "N:300")
+
+    def test_bad_size_value(self):
+        with pytest.raises(SystemExit):
+            run_cli("tune", "mm", "--size", "N=abc")
+
+    def test_unknown_kernel_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli("tune", "nonexistent")
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path, monkeypatch):
+        # shrink the report's problem size for test speed by reusing the
+        # full pipeline (the report runs paper-scale mm; it is fast because
+        # evaluation is the vectorized cost model)
+        out_file = tmp_path / "report.md"
+        code, text = run_cli("report", "--out", str(out_file), "--repetitions", "1")
+        assert code == 0
+        content = out_file.read_text()
+        assert "Reproduction report" in content
+        assert "mm on Westmere" in content and "mm on Barcelona" in content
+        assert "RS-GDE3" in content
+        assert "paper RS-GDE3" in content
+
+    def test_report_to_stdout(self):
+        code, text = run_cli("report", "--repetitions", "1")
+        assert code == 0
+        assert "Table VI" in text

@@ -1,0 +1,133 @@
+"""Integration tests: the end-to-end compiler driver and tuning sessions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.driver import TunedKernel, TuningDriver, TuningSession
+from repro.frontend import get_kernel
+from repro.machine import BARCELONA, WESTMERE
+from repro.optimizer.rsgde3 import RSGDE3Settings
+from repro.optimizer.gde3 import GDE3Settings
+
+
+FAST_SETTINGS = RSGDE3Settings(
+    gde3=GDE3Settings(population_size=16), max_generations=12, patience=2
+)
+
+
+@pytest.fixture(scope="module")
+def tuned_mm():
+    driver = TuningDriver(machine=WESTMERE, seed=42, settings=FAST_SETTINGS)
+    return driver.tune_kernel("mm", sizes={"N": 700})
+
+
+class TestTuneKernel:
+    def test_produces_front(self, tuned_mm):
+        assert tuned_mm.result.size >= 2
+        assert tuned_mm.result.evaluations > 16
+
+    def test_baseline_slower_than_tuned(self, tuned_mm):
+        fastest = min(m.time for m in tuned_mm.version_metas())
+        assert tuned_mm.baseline_time > fastest
+
+    def test_sequential_reference_sane(self, tuned_mm):
+        assert 0 < tuned_mm.sequential_time <= tuned_mm.baseline_time * 1.5
+
+    def test_metas_sorted_by_time(self, tuned_mm):
+        times = [m.time for m in tuned_mm.version_metas()]
+        assert times == sorted(times)
+
+    def test_summary_renders(self, tuned_mm):
+        text = tuned_mm.summary()
+        assert "mm on Westmere" in text and "efficiency" in text
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            TuningDriver().tune_kernel("fft")
+
+    def test_unknown_optimizer_raises(self):
+        with pytest.raises(KeyError):
+            TuningDriver(settings=FAST_SETTINGS).tune_kernel(
+                "mm", sizes={"N": 200}, optimizer="sa"
+            )
+
+
+class TestVersionTableIntegration:
+    def test_executable_versions_run_correctly(self, tuned_mm, rng):
+        table = tuned_mm.build_version_table()
+        assert len(table) == tuned_mm.result.size
+        k = get_kernel("mm")
+        inputs = k.make_inputs(k.test_size, rng)
+        ref = k.reference(inputs, k.test_size)
+        # execute the fastest and the most efficient version
+        for version in (table.fastest(), table.most_efficient()):
+            arrs = {n: v.copy() for n, v in inputs.items()}
+            version(arrs, k.test_size)
+            assert np.allclose(arrs["C"], ref["C"])
+
+    def test_metadata_only_table(self, tuned_mm):
+        table = tuned_mm.build_version_table(executable=False)
+        with pytest.raises(RuntimeError):
+            table.fastest()({}, {})
+
+    def test_emit_c_unit(self, tuned_mm):
+        unit = tuned_mm.emit_c()
+        assert unit.kernel == "mm"
+        assert len(unit.versions) == tuned_mm.result.size
+        assert "mm_dispatch" in unit.source
+
+
+class TestTuneSource:
+    def test_c_source_roundtrip(self):
+        src = """
+        void gemm(int N, double A[N][N], double B[N][N], double C[N][N]) {
+            for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                    for (int k = 0; k < N; k++)
+                        C[i][j] += A[i][k] * B[k][j];
+        }
+        """
+        driver = TuningDriver(machine=BARCELONA, seed=1, settings=FAST_SETTINGS)
+        tuned = driver.tune_source(src, sizes={"N": 300})
+        assert tuned.name == "gemm"
+        assert tuned.result.size >= 1
+
+    def test_function_entry(self):
+        k = get_kernel("dsyrk")
+        driver = TuningDriver(machine=WESTMERE, seed=2, settings=FAST_SETTINGS)
+        tuned = driver.tune_function(k.function, sizes={"N": 300})
+        assert tuned.name == "dsyrk"
+
+
+class TestOptimizerSwitches:
+    @pytest.mark.parametrize("opt", ["rsgde3", "nsga2", "random"])
+    def test_all_optimizers_run(self, opt):
+        driver = TuningDriver(machine=WESTMERE, seed=3, settings=FAST_SETTINGS)
+        tuned = driver.tune_kernel("mm", sizes={"N": 200}, optimizer=opt)
+        assert tuned.result.size >= 1
+
+
+class TestSession:
+    def test_memoizes_runs(self):
+        session = TuningSession()
+        r1 = session.tune("mm", WESTMERE, seed=0)
+        evals_first = r1.evaluations
+        r2 = session.tune("mm", WESTMERE, seed=0)  # cached
+        assert r2.evaluations == evals_first
+        assert len(session.runs) == 1
+
+    def test_save_load_roundtrip(self, tmp_path):
+        session = TuningSession()
+        session.tune("mm", WESTMERE, seed=0)
+        path = session.save(tmp_path / "s.json")
+        loaded = TuningSession.load(path)
+        results = loaded.results_for("mm", "Westmere", "rsgde3")
+        assert len(results) == 1
+        assert results[0].size >= 1
+
+    def test_results_filtering(self):
+        session = TuningSession()
+        session.tune("mm", WESTMERE, seed=0)
+        assert session.results_for("mm", "Barcelona", "rsgde3") == []

@@ -1,0 +1,198 @@
+"""Tests for the energy objective: the cost-model energy term, tri-objective
+tuning, 3-D hypervolume and the energy-aware runtime policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_regions
+from repro.backend.meta import VersionMeta
+from repro.evaluation import RegionCostModel, SimulatedTarget
+from repro.frontend import get_kernel
+from repro.machine import WESTMERE
+from repro.optimizer import RSGDE3, TuningProblem, hypervolume
+from repro.optimizer.gde3 import GDE3Settings
+from repro.optimizer.rsgde3 import RSGDE3Settings
+from repro.runtime import (
+    EnergyCapPolicy,
+    GreenestPolicy,
+    Version,
+    VersionTable,
+    policy_by_name,
+)
+from repro.transform import default_skeleton
+
+
+@pytest.fixture(scope="module")
+def mm_energy_model():
+    k = get_kernel("mm")
+    region = extract_regions(k.function)[0]
+    return RegionCostModel(region, {"N": 1400}, WESTMERE)
+
+
+class TestEnergyModel:
+    def test_positive(self, mm_energy_model):
+        assert mm_energy_model.energy({"i": 64, "j": 128, "k": 16}, 10) > 0
+
+    def test_energy_time_power_consistency(self, mm_energy_model):
+        """Energy ≈ time × power for compute-dominated configs (DRAM term
+        is small for cache-friendly tiles)."""
+        tiles = {"i": 64, "j": 128, "k": 16}
+        t = mm_energy_model.time(tiles, 10)
+        e = mm_energy_model.energy(tiles, 10)
+        power = e / t
+        # one socket active + 10 cores: 40 + 120 W plus a little DRAM
+        assert 150 < power < 220
+
+    def test_energy_minimum_interior(self, mm_energy_model):
+        """Energy has an interior optimum in the thread count: idle power
+        punishes slow single-thread runs, core power punishes inefficient
+        full-machine runs."""
+        tiles = {"i": 64, "j": 128, "k": 16}
+        energies = {thr: mm_energy_model.energy(tiles, thr) for thr in (1, 5, 10, 20, 40)}
+        best = min(energies, key=energies.get)
+        assert 1 < best < 40, energies
+
+    def test_more_sockets_cost_idle_power(self, mm_energy_model):
+        """At equal thread count, spilling onto more sockets (modeled via
+        placement) draws more idle power; here we check the monotone rise
+        from 10 (1 socket) to 40 (4 sockets) outweighs the speedup at some
+        point."""
+        tiles = {"i": 64, "j": 128, "k": 16}
+        e10 = mm_energy_model.energy(tiles, 10)
+        e40 = mm_energy_model.energy(tiles, 40)
+        assert e40 > e10  # the efficiency decay makes 40 threads costlier
+
+
+class TestTriObjectiveTuning:
+    @pytest.fixture(scope="class")
+    def tri_problem(self):
+        k = get_kernel("mm")
+        region = extract_regions(k.function)[0]
+        sk = default_skeleton(region, {"N": 700}, WESTMERE.total_cores)
+        model = RegionCostModel(region, {"N": 700}, WESTMERE,
+                                parallel_spec=sk.parallel_spec())
+        target = SimulatedTarget(model, seed=21, measure_energy=True)
+        return TuningProblem.from_skeleton(sk, target, tri_objective=True)
+
+    def test_requires_energy_target(self):
+        k = get_kernel("mm")
+        region = extract_regions(k.function)[0]
+        sk = default_skeleton(region, {"N": 100}, 8)
+        model = RegionCostModel(region, {"N": 100}, WESTMERE)
+        target = SimulatedTarget(model, seed=0)  # no energy
+        with pytest.raises(ValueError):
+            TuningProblem.from_skeleton(sk, target, tri_objective=True)
+
+    def test_objective_vectors_have_three_components(self, tri_problem):
+        c = tri_problem.evaluate({"tile_i": 32, "tile_j": 64, "tile_k": 8, "threads": 10})
+        assert len(c.objectives) == 3
+        assert c.objectives[2] > 0
+        assert tri_problem.num_objectives == 3
+
+    def test_batch_matches_single(self, tri_problem):
+        vec = np.array([[16, 32, 8, 5]], dtype=float)
+        batch = tri_problem.evaluate_batch(vec)[0]
+        single = tri_problem.evaluate({"tile_i": 16, "tile_j": 32, "tile_k": 8, "threads": 5})
+        assert batch.objectives == single.objectives
+
+    def test_rsgde3_runs_tri_objective(self, tri_problem):
+        settings = RSGDE3Settings(
+            gde3=GDE3Settings(population_size=16), max_generations=10, patience=2
+        )
+        res = RSGDE3(tri_problem, settings).run(seed=4)
+        assert res.size >= 3
+        # the front must contain points that differ in their energy ordering
+        # vs their time ordering (otherwise energy added nothing)
+        by_time = sorted(res.front, key=lambda c: c.objectives[0])
+        by_energy = sorted(res.front, key=lambda c: c.objectives[2])
+        assert by_time != by_energy
+
+
+class TestHypervolume3D:
+    def test_matches_inclusion_exclusion(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0.1, 0.9, size=(8, 3))
+        ref = np.array([1.0, 1.0, 1.0])
+        from repro.optimizer.hypervolume import _hv_inclusion_exclusion
+        from repro.optimizer.pareto import non_dominated_mask
+
+        nd = pts[non_dominated_mask(pts)]
+        assert hypervolume(pts, ref) == pytest.approx(
+            _hv_inclusion_exclusion(nd, ref), rel=1e-9
+        )
+
+    def test_large_front_supported(self):
+        """> 20 points would overflow inclusion-exclusion; the sweep works."""
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(0.0, 1.0, size=(200, 3))
+        v = hypervolume(pts, np.array([1.0, 1.0, 1.0]))
+        assert 0.0 < v <= 1.0
+
+    def test_single_point(self):
+        v = hypervolume(np.array([[0.5, 0.5, 0.5]]), np.array([1, 1, 1]))
+        assert v == pytest.approx(0.125)
+
+    def test_monotone_under_addition(self):
+        pts = np.array([[0.5, 0.5, 0.5]])
+        more = np.vstack([pts, [[0.2, 0.8, 0.8]]])
+        ref = np.array([1.0, 1.0, 1.0])
+        assert hypervolume(more, ref) >= hypervolume(pts, ref)
+
+
+def _meta(i, time, threads, energy):
+    return VersionMeta(
+        index=i, time=time, resources=time * threads, threads=threads,
+        tile_sizes=(), energy=energy,
+    )
+
+
+class TestEnergyPolicies:
+    @pytest.fixture
+    def table(self):
+        metas = [
+            _meta(0, 0.05, 40, 30.0),
+            _meta(1, 0.14, 10, 22.0),
+            _meta(2, 1.10, 1, 60.0),
+        ]
+        return VersionTable("mm", tuple(Version(meta=m) for m in metas))
+
+    def test_greenest(self, table):
+        assert GreenestPolicy().select(table).meta.index == 1
+
+    def test_greenest_without_energy_falls_back(self):
+        metas = [
+            VersionMeta(index=0, time=0.1, resources=0.4, threads=4, tile_sizes=()),
+            VersionMeta(index=1, time=0.3, resources=0.3, threads=1, tile_sizes=()),
+        ]
+        t = VersionTable("x", tuple(Version(meta=m) for m in metas))
+        assert GreenestPolicy().select(t).meta.index == 1
+
+    def test_energy_cap(self, table):
+        assert EnergyCapPolicy(cap=25.0).select(table).meta.index == 1
+        assert EnergyCapPolicy(cap=100.0).select(table).meta.index == 0
+
+    def test_energy_cap_infeasible(self, table):
+        assert EnergyCapPolicy(cap=1.0).select(table).meta.index == 1
+
+    def test_policy_by_name(self):
+        assert isinstance(policy_by_name("greenest"), GreenestPolicy)
+
+
+class TestDriverEnergyIntegration:
+    def test_tuned_metas_carry_energy(self):
+        from repro.driver import TuningDriver
+        from repro.optimizer.rsgde3 import RSGDE3Settings
+        from repro.optimizer.gde3 import GDE3Settings
+
+        driver = TuningDriver(
+            machine=WESTMERE,
+            seed=31,
+            settings=RSGDE3Settings(
+                gde3=GDE3Settings(population_size=12), max_generations=8, patience=2
+            ),
+        )
+        tuned = driver.tune_kernel("mm", sizes={"N": 400}, with_energy=True)
+        metas = tuned.version_metas()
+        assert all(m.energy is not None and m.energy > 0 for m in metas)

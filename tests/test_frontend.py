@@ -1,0 +1,166 @@
+"""Tests for the frontend: kernel registry and the mini-C parser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend import ALL_KERNELS, get_kernel, kernel_names, parse_function
+from repro.frontend.parser import ParseError
+from repro.ir import ArrayRef, Assign, BinOp, For, Var, to_source
+from repro.ir.interp import run_function
+from repro.ir.types import ArrayType, F64, I32
+from repro.ir.visitors import collect, loop_vars
+
+
+class TestKernelRegistry:
+    def test_five_kernels(self):
+        assert sorted(kernel_names()) == ["dsyrk", "jacobi2d", "mm", "nbody", "stencil3d"]
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            get_kernel("fft")
+
+    def test_kernel_reference_consistency(self, kernel, rng):
+        """make_inputs/reference/IR agree for every kernel (test sizes)."""
+        inputs = kernel.make_inputs(kernel.test_size, rng)
+        out = run_function(kernel.function, inputs, kernel.test_size)
+        ref = kernel.reference(inputs, kernel.test_size)
+        for name in kernel.output_arrays:
+            assert np.allclose(out[name], ref[name]), f"{kernel.name}/{name}"
+
+    def test_tile_loops_exist_in_nest(self, kernel):
+        from repro.analysis import extract_regions
+
+        region = extract_regions(kernel.function)[0]
+        for v in kernel.tile_loops:
+            assert v in region.domain.vars
+
+    def test_complexity_strings(self, kernel):
+        comp, mem = kernel.complexity
+        assert comp.startswith("O(") and mem.startswith("O(")
+
+    def test_sizes_merge(self):
+        k = get_kernel("mm")
+        assert k.sizes({"N": 100}) == {"N": 100}
+        assert k.sizes()["N"] == 1400
+
+
+MM_SOURCE = """
+void mm(int N, double A[N][N], double B[N][N], double C[N][N]) {
+    for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++)
+            for (int k = 0; k < N; k++)
+                C[i][j] += A[i][k] * B[k][j];
+}
+"""
+
+
+class TestParser:
+    def test_parses_mm(self):
+        fn = parse_function(MM_SOURCE)
+        assert fn.name == "mm"
+        assert loop_vars(fn.body.stmts[0]) == ["i", "j", "k"]
+
+    def test_parsed_mm_matches_registry_semantics(self, rng):
+        fn = parse_function(MM_SOURCE)
+        k = get_kernel("mm")
+        inputs = k.make_inputs(k.test_size, rng)
+        out = run_function(fn, inputs, k.test_size)
+        ref = k.reference(inputs, k.test_size)
+        assert np.allclose(out["C"], ref["C"])
+
+    def test_array_param_types(self):
+        fn = parse_function(MM_SOURCE)
+        at = fn.param("A").type
+        assert isinstance(at, ArrayType) and at.shape == ("N", "N")
+        assert fn.param("N").type is I32
+
+    def test_compound_assignment_desugars(self):
+        fn = parse_function(MM_SOURCE)
+        assigns = collect(fn.body, Assign)
+        assert len(assigns) == 1
+        assert isinstance(assigns[0].value, BinOp)
+
+    def test_le_condition(self):
+        fn = parse_function(
+            "void f(int N, double A[N]) { for (int i = 0; i <= N; i++) A[i] = 0.0; }"
+        )
+        lp = fn.body.stmts[0]
+        assert isinstance(lp, For)
+        assert "N + 1" in to_source(lp.upper)
+
+    def test_step_increment(self):
+        fn = parse_function(
+            "void f(int N, double A[N]) { for (int i = 0; i < N; i += 4) A[i] = 0.0; }"
+        )
+        lp = fn.body.stmts[0]
+        assert isinstance(lp, For)
+        assert to_source(lp.step) == "4"
+
+    def test_comments_ignored(self):
+        fn = parse_function(
+            """
+            void f(int N, double A[N]) {
+                // single line
+                /* block
+                   comment */
+                for (int i = 0; i < N; i++) A[i] = 1.0;
+            }
+            """
+        )
+        assert fn.name == "f"
+
+    def test_unary_minus(self):
+        fn = parse_function(
+            "void f(int N, double A[N]) { for (int i = 0; i < N; i++) A[i] = -1.0; }"
+        )
+        assert fn is not None
+
+    def test_calls_parse(self):
+        fn = parse_function(
+            "void f(int N, double A[N]) { for (int i = 0; i < N; i++) A[i] = sqrt(A[i]); }"
+        )
+        from repro.ir.nodes import Call
+
+        assert collect(fn.body, Call)
+
+    def test_long_long(self):
+        fn = parse_function("void f(long long N, double A[N]) { A[0] = 1.0; }")
+        assert fn.param("N").type.name == "i64"
+
+    def test_rejects_nonvoid(self):
+        with pytest.raises(ParseError):
+            parse_function("int f(int N) { }")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ParseError):
+            parse_function("void f(quux N) { }")
+
+    def test_rejects_mismatched_loop_condition(self):
+        with pytest.raises(ParseError):
+            parse_function(
+                "void f(int N, double A[N]) { for (int i = 0; j < N; i++) A[i] = 0.0; }"
+            )
+
+    def test_rejects_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_function(MM_SOURCE + "garbage")
+
+    def test_rejects_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_function("void f(int N) { § }")
+
+    def test_precedence(self):
+        fn = parse_function(
+            "void f(int N, double A[N]) { for (int i = 0; i < N; i++) A[i] = 1.0 + 2.0 * 3.0; }"
+        )
+        assign = collect(fn.body, Assign)[0]
+        assert isinstance(assign.value, BinOp) and assign.value.op == "+"
+
+    def test_parenthesised_expression(self):
+        fn = parse_function(
+            "void f(int N, double A[N]) { for (int i = 0; i < N; i++) A[i] = (1.0 + 2.0) * 3.0; }"
+        )
+        assign = collect(fn.body, Assign)[0]
+        assert isinstance(assign.value, BinOp) and assign.value.op == "*"

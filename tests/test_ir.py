@@ -1,0 +1,237 @@
+"""Tests for the IR: nodes, builder sugar, visitors, printer, interpreter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Block,
+    F64,
+    For,
+    Function,
+    I64,
+    IntLit,
+    Min,
+    Var,
+    to_source,
+)
+from repro.ir.builder import array, assign, block, c, func, loop, param, var
+from repro.ir.nodes import FloatLit, as_expr
+from repro.ir.types import ArrayType
+from repro.ir.interp import eval_expr, run_function
+from repro.ir.visitors import (
+    collect,
+    free_vars,
+    loop_nest,
+    loop_vars,
+    perfect_nest,
+    substitute,
+    transform,
+    walk,
+)
+
+
+def make_simple_nest():
+    i, j = var("i"), var("j")
+    body = assign(var("A")[i, j], var("A")[i, j] + 1.0)
+    return loop("i", 0, "N", loop("j", 0, "N", body))
+
+
+class TestNodes:
+    def test_operator_sugar_builds_binop(self):
+        e = var("x") + 1
+        assert isinstance(e, BinOp) and e.op == "+"
+
+    def test_getitem_builds_arrayref(self):
+        r = var("A")[var("i"), 2]
+        assert isinstance(r, ArrayRef)
+        assert r.indices[1] == IntLit(2)
+
+    def test_as_expr_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+    def test_as_expr_floats(self):
+        assert isinstance(as_expr(1.5), FloatLit)
+
+    def test_assign_target_checked(self):
+        with pytest.raises(TypeError):
+            Assign(IntLit(1), IntLit(2))
+
+    def test_binop_validates_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("**", IntLit(1), IntLit(2))
+
+    def test_nodes_hashable(self):
+        assert hash(make_simple_nest()) == hash(make_simple_nest())
+
+    def test_with_children_roundtrip(self):
+        nest = make_simple_nest()
+        rebuilt = nest.with_children(list(nest.children()))
+        assert rebuilt == nest
+
+    def test_annotations(self):
+        lp = make_simple_nest().with_annotation("k", 7)
+        assert lp.annotation("k") == 7
+        assert lp.annotation("missing", "d") == "d"
+        # overwriting replaces
+        assert lp.with_annotation("k", 9).annotation("k") == 9
+
+    def test_function_param_lookup(self):
+        fn = func("f", [param("N", I64), array("A", "N")], make_simple_nest())
+        assert fn.param("N").type is I64
+        with pytest.raises(KeyError):
+            fn.param("zzz")
+        assert "A" in fn.arrays and "N" in fn.scalars
+
+
+class TestTypes:
+    def test_elem_count_symbolic(self):
+        at = ArrayType(F64, ("N", "N"))
+        assert at.elem_count({"N": 10}) == 100
+
+    def test_elem_count_unbound_raises(self):
+        with pytest.raises(KeyError):
+            ArrayType(F64, ("N",)).elem_count()
+
+    def test_byte_size(self):
+        assert ArrayType(F64, (4, 4)).byte_size() == 128
+
+
+class TestVisitors:
+    def test_walk_visits_all_loops(self):
+        nest = make_simple_nest()
+        assert len([n for n in walk(nest) if isinstance(n, For)]) == 2
+
+    def test_collect_refs(self):
+        refs = collect(make_simple_nest(), ArrayRef)
+        assert len(refs) == 2
+
+    def test_loop_nest_order(self):
+        assert loop_vars(make_simple_nest()) == ["i", "j"]
+
+    def test_perfect_nest_returns_body(self):
+        loops, body = perfect_nest(make_simple_nest())
+        assert len(loops) == 2 and isinstance(body, Assign)
+
+    def test_substitute_replaces_free(self):
+        e = var("i") + var("j")
+        out = substitute(e, {"i": c(5)})
+        assert collect(out, Var) == [Var("j")]
+
+    def test_substitute_respects_shadowing(self):
+        nest = make_simple_nest()
+        out = substitute(nest, {"i": c(0)})
+        # the loop rebinds i, so body occurrences must NOT be replaced
+        assert out == nest
+
+    def test_substitute_applies_to_bounds(self):
+        nest = make_simple_nest()
+        out = substitute(nest, {"N": c(8)})
+        assert out.upper == IntLit(8)  # type: ignore[union-attr]
+
+    def test_free_vars(self):
+        fv = free_vars(make_simple_nest())
+        assert fv == {"N"}
+
+    def test_transform_bottom_up(self):
+        nest = make_simple_nest()
+
+        def rename(n):
+            if isinstance(n, Var) and n.name == "N":
+                return Var("M")
+            return None
+
+        out = transform(nest, rename)
+        assert "M" in free_vars(out) and "N" not in free_vars(out)
+
+
+class TestPrinter:
+    def test_function_prints(self):
+        fn = func("f", [param("N", I64), array("A", "N", "N")], make_simple_nest())
+        text = to_source(fn)
+        assert "void f(" in text
+        assert "for (i = 0; i < N; i += 1)" in text
+
+    def test_min_printed(self):
+        assert "min(" in to_source(Min(c(1), c(2)))
+
+    def test_precedence_parens(self):
+        e = (var("a") + var("b")) * var("c")
+        from repro.ir.printer import expr_to_source
+
+        assert expr_to_source(e) == "(a + b) * c"
+
+
+class TestInterp:
+    def test_runs_mm_against_numpy(self, rng):
+        from repro.frontend import get_kernel
+
+        k = get_kernel("mm")
+        inputs = k.make_inputs(k.test_size, rng)
+        out = run_function(k.function, inputs, k.test_size)
+        ref = k.reference(inputs, k.test_size)
+        assert np.allclose(out["C"], ref["C"])
+
+    def test_copy_semantics(self, rng):
+        from repro.frontend import get_kernel
+
+        k = get_kernel("mm")
+        inputs = k.make_inputs(k.test_size, rng)
+        before = inputs["C"].copy()
+        run_function(k.function, inputs, k.test_size, copy=True)
+        assert np.array_equal(inputs["C"], before)
+
+    def test_missing_array_raises(self):
+        from repro.frontend import get_kernel
+
+        k = get_kernel("mm")
+        with pytest.raises(KeyError):
+            run_function(k.function, {}, k.test_size)
+
+    def test_missing_scalar_raises(self, rng):
+        from repro.frontend import get_kernel
+
+        k = get_kernel("mm")
+        inputs = k.make_inputs(k.test_size, rng)
+        with pytest.raises(KeyError):
+            run_function(k.function, inputs, {})
+
+    def test_eval_floor_div_and_mod(self):
+        env = {"x": 17}
+        assert eval_expr(var("x") // 5, env, {}) == 3
+        assert eval_expr(var("x") % 5, env, {}) == 2
+
+    def test_eval_min_max(self):
+        from repro.ir.nodes import Max
+
+        assert eval_expr(Min(c(3), c(5)), {}, {}) == 3
+        assert eval_expr(Max(c(3), c(5)), {}, {}) == 5
+
+    def test_unknown_intrinsic_raises(self):
+        from repro.ir.nodes import Call
+
+        with pytest.raises(NameError):
+            eval_expr(Call("bogus", (c(1),)), {}, {})
+
+    def test_loop_variable_scoping_restored(self):
+        # after a loop executes, the loop var must not leak
+        i = var("i")
+        nest = loop("i", 0, 3, assign(var("A")[i], i * 1.0))
+        fn = func("f", [array("A", 3)], nest)
+        out = run_function(fn, {"A": np.zeros(3)})
+        assert np.allclose(out["A"], [0, 1, 2])
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+    def test_nested_loop_trip_counts(self, n, m):
+        i, j = var("i"), var("j")
+        body = assign(var("A")[0], var("A")[0] + 1.0)
+        nest = loop("i", 0, n, loop("j", 0, m, body))
+        fn = func("f", [array("A", 1)], nest)
+        out = run_function(fn, {"A": np.zeros(1)})
+        assert out["A"][0] == n * m

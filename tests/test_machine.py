@@ -1,0 +1,222 @@
+"""Tests for the machine package: models, topology, cache simulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine import (
+    BARCELONA,
+    WESTMERE,
+    CacheHierarchy,
+    CacheSim,
+    machine_by_name,
+    place_threads,
+)
+from repro.machine.cache import AddressTraceRecorder
+
+
+class TestMachineModels:
+    def test_table_i_westmere(self):
+        m = WESTMERE
+        assert m.sockets == 4 and m.cores_per_socket == 10
+        assert m.level("L1").size == 32 * 1024
+        assert m.level("L2").size == 256 * 1024
+        assert m.level("L3").size == 30 * 1024 * 1024
+        assert m.level("L3").shared and not m.level("L1").shared
+
+    def test_table_i_barcelona(self):
+        m = BARCELONA
+        assert m.sockets == 8 and m.cores_per_socket == 4
+        assert m.level("L1").size == 64 * 1024
+        assert m.level("L2").size == 512 * 1024
+        assert m.level("L3").size == 2 * 1024 * 1024
+
+    def test_total_cores(self):
+        assert WESTMERE.total_cores == 40
+        assert BARCELONA.total_cores == 32
+
+    def test_default_thread_counts_match_paper(self):
+        assert WESTMERE.default_thread_counts() == (1, 5, 10, 20, 40)
+        assert BARCELONA.default_thread_counts() == (1, 2, 4, 8, 16, 32)
+
+    def test_lookup_by_name(self):
+        assert machine_by_name("westmere") is WESTMERE
+        assert machine_by_name("Barcelona") is BARCELONA
+        with pytest.raises(KeyError):
+            machine_by_name("skylake")
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(KeyError):
+            WESTMERE.level("L4")
+
+    def test_tlb_reach(self):
+        assert WESTMERE.tlb_reach == WESTMERE.tlb_entries * WESTMERE.page_size
+
+
+class TestPlacement:
+    def test_fill_one_socket_first(self):
+        p = place_threads(WESTMERE, 10)
+        assert p.per_socket == (10, 0, 0, 0)
+        assert p.active_sockets == 1
+        assert p.max_threads_per_socket == 10
+
+    def test_spill_to_next_socket(self):
+        p = place_threads(WESTMERE, 14)
+        assert p.per_socket == (10, 4, 0, 0)
+        assert p.active_sockets == 2
+
+    def test_full_machine(self):
+        p = place_threads(BARCELONA, 32)
+        assert p.per_socket == (4,) * 8
+
+    def test_shared_capacity_division(self):
+        p = place_threads(WESTMERE, 10)
+        l3 = WESTMERE.level("L3").size
+        assert p.shared_capacity_per_thread(l3) == l3 / 10
+
+    def test_aggregate_bw_scales_with_sockets(self):
+        p1 = place_threads(WESTMERE, 10)
+        p2 = place_threads(WESTMERE, 20)
+        assert p2.aggregate_dram_bw() == 2 * p1.aggregate_dram_bw()
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            place_threads(WESTMERE, 41)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            place_threads(WESTMERE, 0)
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_placement_conserves_threads(self, t):
+        p = place_threads(WESTMERE, t)
+        assert sum(p.per_socket) == t
+        assert max(p.per_socket) <= WESTMERE.cores_per_socket
+
+
+class TestCacheSim:
+    def test_cold_miss_then_hit(self):
+        c = CacheSim(size=1024, line_size=64, assoc=2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)  # same line
+        assert not c.access(64)  # next line
+
+    def test_capacity_eviction_lru(self):
+        # direct-mapped-ish: 2 sets, assoc 2 -> 4 lines total
+        c = CacheSim(size=256, line_size=64, assoc=2)
+        for addr in (0, 256, 512):  # all map to set 0, assoc 2 overflows
+            c.access(addr)
+        assert not c.access(0)  # evicted (LRU)
+
+    def test_lru_order(self):
+        c = CacheSim(size=256, line_size=64, assoc=2)
+        c.access(0)
+        c.access(256)
+        c.access(0)  # refresh 0
+        c.access(512)  # evicts 256, not 0
+        assert c.access(0)
+        assert not c.access(256)
+
+    def test_stats(self):
+        c = CacheSim(size=1024, line_size=64, assoc=2)
+        c.access(0)
+        c.access(0)
+        assert c.hits == 1 and c.misses == 1 and c.miss_ratio == 0.5
+        assert c.miss_bytes == 64
+        c.reset_stats()
+        assert c.accesses == 0
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            CacheSim(size=1000, line_size=64, assoc=3)
+
+    def test_streaming_miss_rate_is_line_rate(self):
+        c = CacheSim(size=32 * 1024, line_size=64, assoc=8)
+        for i in range(64 * 1024):  # sequential byte sweep over 4 MB >> cache
+            c.access(i * 8)
+        # one miss per 8 accesses (64B line / 8B elements)
+        assert c.miss_ratio == pytest.approx(0.125, rel=0.01)
+
+
+class TestHierarchy:
+    def test_miss_propagation(self):
+        h = CacheHierarchy([
+            CacheSim(1024, 64, 2, name="L1"),
+            CacheSim(4096, 64, 4, name="L2"),
+        ])
+        assert h.access(0) == 2  # missed both
+        assert h.access(0) == 0  # L1 hit
+
+    def test_from_machine_scaling(self):
+        h = CacheHierarchy.from_machine(WESTMERE, capacity_scale=0.1)
+        l3 = [lv for lv in h.levels if lv.name == "L3"][0]
+        assert l3.size <= WESTMERE.level("L3").size * 0.1 + l3.line_size * l3.assoc
+
+    def test_miss_bytes_lookup(self):
+        h = CacheHierarchy.from_machine(WESTMERE)
+        h.access(0)
+        assert h.miss_bytes("L1") == 64
+        with pytest.raises(KeyError):
+            h.miss_bytes("L9")
+
+
+class TestTraceRecorder:
+    def test_layout_separates_arrays(self):
+        r = AddressTraceRecorder()
+        r.register("A", (8, 8))
+        r.register("B", (8, 8))
+        assert r.address_of("B", (0, 0)) >= r.address_of("A", (7, 7)) + 8
+
+    def test_row_major(self):
+        r = AddressTraceRecorder()
+        r.register("A", (4, 4))
+        assert r.address_of("A", (1, 0)) - r.address_of("A", (0, 0)) == 32
+
+    def test_replay(self):
+        r = AddressTraceRecorder()
+        r.register("A", (16,))
+        for i in range(16):
+            r.record("A", (i,))
+        h = CacheHierarchy([CacheSim(1024, 64, 2, name="L1")])
+        r.replay(h)
+        assert h.levels[0].misses == 2  # 16*8B = 2 lines
+
+
+class TestMachineZoo:
+    """The additional machine definitions (templates for user targets)."""
+
+    def test_lookup(self):
+        from repro.machine import LAPTOP, SERVER2S
+
+        assert machine_by_name("laptop") is LAPTOP
+        assert machine_by_name("server2s") is SERVER2S
+
+    def test_laptop_single_socket(self):
+        from repro.machine import LAPTOP
+
+        assert LAPTOP.sockets == 1
+        assert LAPTOP.numa_tax == 0.0
+        p = place_threads(LAPTOP, 8)
+        assert p.active_sockets == 1
+
+    def test_tuning_shapes_hold_on_new_machines(self):
+        """The paper's core phenomena are not Westmere/Barcelona-specific:
+        speedup rises and efficiency falls on the zoo machines too."""
+        from repro.analysis import extract_regions
+        from repro.evaluation import RegionCostModel
+        from repro.frontend import get_kernel
+        from repro.machine import LAPTOP, SERVER2S
+
+        k = get_kernel("mm")
+        region = extract_regions(k.function)[0]
+        for m in (LAPTOP, SERVER2S):
+            model = RegionCostModel(region, {"N": 1400}, m)
+            tiles = {"i": 64, "j": 128, "k": 16}
+            counts = m.default_thread_counts()
+            times = [model.time(tiles, t) for t in counts]
+            speedups = [times[0] / t for t in times]
+            effs = [s / c for s, c in zip(speedups, counts)]
+            assert speedups == sorted(speedups), m.name
+            assert effs == sorted(effs, reverse=True), m.name

@@ -1,0 +1,116 @@
+"""Tests for native (really-executed) versions with worksharing threads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_regions
+from repro.backend.pygen import compile_worksharing
+from repro.evaluation.native import NativeExecutor
+from repro.frontend import get_kernel
+from repro.transform import default_skeleton
+
+
+def build_version(kernel_name: str, threads: int, band=None):
+    k = get_kernel(kernel_name)
+    region = extract_regions(k.function)[0]
+    sk = default_skeleton(region, k.test_size, max_threads=8, band=band)
+    values = {p.name: max(p.lo, min(p.hi, 4)) for p in sk.parameters}
+    values["threads"] = threads
+    return k, sk.instantiate(values).apply()
+
+
+class TestCompileWorksharing:
+    def test_bounds_and_chunk(self):
+        k, fn = build_version("mm", 4)
+        bounds, chunk = compile_worksharing(fn)
+        rng = np.random.default_rng(0)
+        inputs = k.make_inputs(k.test_size, rng)
+        lo, hi, step = bounds(inputs, k.test_size)
+        assert lo == 0 and hi > 0 and step == 1
+
+    def test_rejects_sequential_function(self):
+        k = get_kernel("mm")
+        with pytest.raises(ValueError):
+            compile_worksharing(k.function)
+
+    def test_rejects_nested_parallel_loop(self):
+        # n-body's parallel i sits under the hoisted j tile loop
+        k, fn = build_version("nbody", 4, band=("j",))
+        with pytest.raises(ValueError):
+            compile_worksharing(fn)
+
+    def test_rejects_parallel_loop_under_sweep(self):
+        # jacobi-2d's parallel spatial loop sits inside the sequential time
+        # loop: chunking it without per-step barriers would race on the
+        # halo, so the executor refuses
+        k, fn = build_version("jacobi2d", 4)
+        with pytest.raises(ValueError):
+            compile_worksharing(fn)
+
+
+class TestNativeExecutor:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 7])
+    def test_mm_chunked_execution_correct(self, threads, rng):
+        k, fn = build_version("mm", threads)
+        ex = NativeExecutor(fn, threads=threads)
+        inputs = k.make_inputs(k.test_size, rng)
+        arrs = {n: v.copy() for n, v in inputs.items()}
+        wall = ex.run(arrs, k.test_size)
+        assert wall > 0
+        ref = k.reference(inputs, k.test_size)
+        assert np.allclose(arrs["C"], ref["C"])
+
+    @pytest.mark.parametrize("kernel_name", ["stencil3d", "dsyrk"])
+    def test_other_kernels_chunked(self, kernel_name, rng):
+        k, fn = build_version(kernel_name, 3)
+        ex = NativeExecutor(fn, threads=3)
+        inputs = k.make_inputs(k.test_size, rng)
+        arrs = {n: v.copy() for n, v in inputs.items()}
+        ex.run(arrs, k.test_size)
+        ref = k.reference(inputs, k.test_size)
+        for name in k.output_arrays:
+            assert np.allclose(arrs[name], ref[name]), kernel_name
+
+    def test_sequential_path(self, rng):
+        k, fn = build_version("mm", 1)
+        ex = NativeExecutor(fn, threads=1)
+        inputs = k.make_inputs(k.test_size, rng)
+        arrs = {n: v.copy() for n, v in inputs.items()}
+        ex.run(arrs, k.test_size)
+        ref = k.reference(inputs, k.test_size)
+        assert np.allclose(arrs["C"], ref["C"])
+
+    def test_measure_median_of_k(self, rng):
+        from repro.evaluation.measurements import MeasurementProtocol
+
+        k, fn = build_version("mm", 2)
+        ex = NativeExecutor(fn, threads=2)
+        inputs = k.make_inputs(k.test_size, rng)
+        m = ex.measure(inputs, k.test_size, MeasurementProtocol(repetitions=3))
+        assert m.repetitions == 3 and m.value > 0
+
+    def test_measure_does_not_mutate_inputs(self, rng):
+        k, fn = build_version("mm", 2)
+        ex = NativeExecutor(fn, threads=2)
+        inputs = k.make_inputs(k.test_size, rng)
+        before = inputs["C"].copy()
+        ex.measure(inputs, k.test_size)
+        assert np.array_equal(inputs["C"], before)
+
+    def test_more_threads_than_chunks(self, rng):
+        """Thread count beyond the worksharing iterations must not break."""
+        k, fn = build_version("mm", 7)
+        ex = NativeExecutor(fn, threads=7)
+        sizes = {"N": 6}
+        inputs = k.make_inputs(sizes, rng)
+        arrs = {n: v.copy() for n, v in inputs.items()}
+        ex.run(arrs, sizes)
+        ref = k.reference(inputs, sizes)
+        assert np.allclose(arrs["C"], ref["C"])
+
+    def test_rejects_bad_threads(self):
+        _, fn = build_version("mm", 2)
+        with pytest.raises(ValueError):
+            NativeExecutor(fn, threads=0)

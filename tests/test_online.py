@@ -1,0 +1,112 @@
+"""Tests for the online (bandit) version selector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.meta import VersionMeta
+from repro.runtime import Version, VersionTable
+from repro.runtime.online import BanditSelector
+from repro.util.rng import derive_rng
+
+
+def table_with_times(predicted: list[float]) -> VersionTable:
+    metas = [
+        VersionMeta(index=i, time=t, resources=t, threads=1, tile_sizes=())
+        for i, t in enumerate(predicted)
+    ]
+    return VersionTable("r", tuple(Version(meta=m) for m in metas))
+
+
+def simulate(selector: BanditSelector, table: VersionTable, true_times: list[float], steps: int, rng):
+    picks = []
+    for _ in range(steps):
+        v = selector.select(table)
+        wall = true_times[v.meta.index] * float(np.exp(rng.normal(0, 0.05)))
+        selector.observe(v.meta.index, wall)
+        picks.append(v.meta.index)
+    return picks
+
+
+class TestBanditBasics:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            BanditSelector(strategy="thompson")
+
+    def test_invalid_observation_rejected(self):
+        sel = BanditSelector()
+        with pytest.raises(ValueError):
+            sel.observe(0, 0.0)
+
+    def test_prior_mean_without_observations(self):
+        table = table_with_times([0.5, 1.0])
+        sel = BanditSelector()
+        assert sel.mean_time(table[0]) == pytest.approx(0.5)
+
+    def test_observations_shift_posterior(self):
+        table = table_with_times([0.5, 1.0])
+        sel = BanditSelector(prior_weight=1.0)
+        for _ in range(9):
+            sel.observe(0, 2.0)
+        # posterior: (9*2.0 + 1*0.5) / 10 = 1.85
+        assert sel.mean_time(table[0]) == pytest.approx(1.85)
+
+    def test_describe(self):
+        sel = BanditSelector()
+        sel.observe(0, 1.0)
+        assert "n=1" in sel.describe()
+
+
+class TestConvergence:
+    def test_ucb_converges_to_truly_fastest(self):
+        """Metadata says v0 is fastest, production says v2: the bandit must
+        shift its picks to v2."""
+        table = table_with_times([0.10, 0.12, 0.14])
+        true_times = [0.30, 0.28, 0.05]  # reality inverted
+        sel = BanditSelector(strategy="ucb1", seed=1)
+        rng = derive_rng(5)
+        picks = simulate(sel, table, true_times, steps=200, rng=rng)
+        late = picks[-50:]
+        assert late.count(2) > 40, f"late picks: {late}"
+
+    def test_epsilon_greedy_converges_too(self):
+        table = table_with_times([0.10, 0.12, 0.14])
+        true_times = [0.30, 0.28, 0.05]
+        sel = BanditSelector(strategy="epsilon", epsilon=0.15, seed=2)
+        rng = derive_rng(6)
+        picks = simulate(sel, table, true_times, steps=300, rng=rng)
+        late = picks[-60:]
+        assert late.count(2) > len(late) * 0.6
+
+    def test_explores_every_arm(self):
+        table = table_with_times([0.10, 0.11, 0.12, 0.13])
+        true_times = [0.10, 0.11, 0.12, 0.13]
+        sel = BanditSelector(strategy="ucb1", seed=3, exploration=1.0)
+        rng = derive_rng(7)
+        simulate(sel, table, true_times, steps=100, rng=rng)
+        assert all(sel.observations(i) > 0 for i in range(4))
+
+    def test_correct_prior_keeps_fastest(self):
+        """When the metadata is right, the bandit should not regress."""
+        table = table_with_times([0.05, 0.10, 0.20])
+        true_times = [0.05, 0.10, 0.20]
+        sel = BanditSelector(strategy="ucb1", seed=4)
+        rng = derive_rng(8)
+        picks = simulate(sel, table, true_times, steps=150, rng=rng)
+        assert picks[-30:].count(0) > 24
+
+
+class TestExecutorIntegration:
+    def test_bandit_as_policy_with_recorded_walls(self):
+        """Plug the bandit into the executor loop: select -> (pretend) run
+        -> observe, using metadata-only versions."""
+        table = table_with_times([0.10, 0.12])
+        true_times = [0.50, 0.05]
+        sel = BanditSelector(strategy="ucb1", seed=9)
+        rng = derive_rng(10)
+        for _ in range(80):
+            v = sel.select(table)
+            wall = true_times[v.meta.index] * float(np.exp(rng.normal(0, 0.05)))
+            sel.observe(v.meta.index, wall)
+        assert sel.select(table).meta.index == 1

@@ -1,0 +1,98 @@
+"""Tests for the parameterized-tiling backend (the paper's §IV alternative)."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import extract_regions
+from repro.backend.meta import VersionMeta
+from repro.backend.parameterized import build_parameterized_c
+from repro.frontend import get_kernel
+from repro.transform import default_skeleton
+
+HAVE_GCC = shutil.which("gcc") is not None
+
+
+def make_inputs(kernel_name="mm", with_unroll=False):
+    k = get_kernel(kernel_name)
+    region = extract_regions(k.function)[0]
+    sk = default_skeleton(
+        region, k.default_size, max_threads=8,
+        band=k.tile_loops, with_unroll=with_unroll,
+    )
+    metas = [
+        VersionMeta(
+            index=i,
+            time=0.1 * (i + 1),
+            resources=0.2 * (i + 1),
+            threads=2 ** i,
+            tile_sizes=tuple((v, 8 * (i + 1)) for v in k.tile_loops),
+        )
+        for i in range(3)
+    ]
+    return sk, metas
+
+
+class TestParameterizedBackend:
+    def test_contains_runtime_parameters(self):
+        sk, metas = make_inputs()
+        unit = build_parameterized_c(sk, metas)
+        assert "void mm_parameterized(" in unit.source
+        for p in ("t_i", "t_j", "t_k", "nthreads"):
+            assert p in unit.source
+        assert unit.parameters == ("t_i", "t_j", "t_k", "nthreads")
+
+    def test_pragma_uses_runtime_thread_count(self):
+        sk, metas = make_inputs()
+        unit = build_parameterized_c(sk, metas)
+        assert "num_threads(nthreads)" in unit.source
+
+    def test_paramset_table(self):
+        sk, metas = make_inputs()
+        unit = build_parameterized_c(sk, metas)
+        assert "mm_paramsets[]" in unit.source
+        assert len(unit.table) == 3
+
+    def test_rejects_unrollable_skeleton(self):
+        sk, metas = make_inputs(with_unroll=True)
+        with pytest.raises(ValueError, match="unroll"):
+            build_parameterized_c(sk, metas)
+
+    def test_single_function_smaller_than_multiversion(self):
+        """The code-size trade-off the paper weighs: one parameterized body
+        vs one body per Pareto point."""
+        from repro.backend.multiversion import build_multiversion_c
+
+        sk, metas = make_inputs()
+        unit = build_parameterized_c(sk, metas)
+        variants = [
+            (sk.instantiate(
+                {**{f"tile_{v}": s for v, s in m.tile_sizes}, "threads": m.threads}
+             ).apply(), m)
+            for m in metas
+        ]
+        mv = build_multiversion_c("mm", variants)
+        assert len(unit.source) < len(mv.source)
+
+    @pytest.mark.skipif(not HAVE_GCC, reason="gcc unavailable")
+    @pytest.mark.parametrize("kernel_name", ["mm", "jacobi2d", "nbody"])
+    def test_compiles(self, kernel_name):
+        sk, metas = make_inputs(kernel_name)
+        unit = build_parameterized_c(sk, metas)
+        with tempfile.NamedTemporaryFile(suffix=".c", mode="w", delete=False) as f:
+            f.write(unit.source)
+            path = f.name
+        try:
+            result = subprocess.run(
+                ["gcc", "-std=c99", "-fsyntax-only", "-fopenmp", "-Wall", "-Werror", path],
+                capture_output=True,
+                text=True,
+            )
+            assert result.returncode == 0, result.stderr
+        finally:
+            Path(path).unlink()

@@ -1,0 +1,256 @@
+"""Tests for the runtime system: version tables, selection policies,
+executor and monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.meta import VersionMeta
+from repro.runtime import (
+    EfficiencyFloorPolicy,
+    FastestPolicy,
+    MostEfficientPolicy,
+    RegionExecutor,
+    RuntimeMonitor,
+    ThreadCapPolicy,
+    TimeCapPolicy,
+    Version,
+    VersionTable,
+    WeightedSumPolicy,
+    policy_by_name,
+)
+
+
+def meta(i, time, threads, resources=None):
+    return VersionMeta(
+        index=i,
+        time=time,
+        resources=resources if resources is not None else time * threads,
+        threads=threads,
+        tile_sizes=(("i", 8),),
+    )
+
+
+@pytest.fixture
+def table():
+    """A plausible mm-like Pareto table: faster versions use more threads
+    and cost more cpu-seconds."""
+    metas = [
+        meta(0, 0.05, 40),   # 2.0 cpu-s
+        meta(1, 0.08, 20),   # 1.6
+        meta(2, 0.14, 10),   # 1.4
+        meta(3, 0.60, 2),    # 1.2
+        meta(4, 1.10, 1),    # 1.1
+    ]
+    return VersionTable(
+        region_name="mm",
+        versions=tuple(Version(meta=m) for m in metas),
+    )
+
+
+class TestVersionTable:
+    def test_len_iter_getitem(self, table):
+        assert len(table) == 5
+        assert [v.meta.index for v in table] == [0, 1, 2, 3, 4]
+        assert table[3].meta.threads == 2
+        with pytest.raises(IndexError):
+            table[99]
+
+    def test_fastest_most_efficient(self, table):
+        assert table.fastest().meta.index == 0
+        assert table.most_efficient().meta.index == 4
+
+    def test_requires_versions(self):
+        with pytest.raises(ValueError):
+            VersionTable(region_name="x", versions=())
+
+    def test_duplicate_indices_rejected(self):
+        vs = (Version(meta=meta(0, 1.0, 1)), Version(meta=meta(0, 2.0, 2)))
+        with pytest.raises(ValueError):
+            VersionTable(region_name="x", versions=vs)
+
+    def test_summary_mentions_all(self, table):
+        text = table.pareto_summary()
+        for i in range(5):
+            assert f"v{i}:" in text
+
+    def test_metadata_only_version_raises_on_call(self, table):
+        with pytest.raises(RuntimeError):
+            table[0]({}, {})
+
+
+class TestPolicies:
+    def test_fastest(self, table):
+        assert FastestPolicy().select(table).meta.index == 0
+
+    def test_most_efficient(self, table):
+        assert MostEfficientPolicy().select(table).meta.index == 4
+
+    def test_weighted_extremes_match_pure_policies(self, table):
+        assert WeightedSumPolicy(1.0, 0.0).select(table).meta.index == 0
+        assert WeightedSumPolicy(0.0, 1.0).select(table).meta.index == 4
+
+    def test_weighted_balanced_interior(self, table):
+        idx = WeightedSumPolicy(0.5, 0.5).select(table).meta.index
+        assert idx not in (0,)  # not the extreme time point
+
+    def test_time_cap(self, table):
+        # cheapest version meeting a 0.2 s deadline is v2 (10 threads)
+        assert TimeCapPolicy(cap=0.2).select(table).meta.index == 2
+
+    def test_time_cap_infeasible_falls_back_to_fastest(self, table):
+        assert TimeCapPolicy(cap=0.001).select(table).meta.index == 0
+
+    def test_thread_cap_explicit(self, table):
+        assert ThreadCapPolicy(cap=10).select(table).meta.index == 2
+
+    def test_thread_cap_from_context(self, table):
+        v = ThreadCapPolicy().select(table, {"available_cores": 2})
+        assert v.meta.index == 3
+
+    def test_thread_cap_no_fit_takes_smallest(self, table):
+        metas = [meta(0, 0.1, 8), meta(1, 0.2, 4)]
+        t = VersionTable("x", tuple(Version(meta=m) for m in metas))
+        assert ThreadCapPolicy(cap=1).select(t).meta.index == 1
+
+    def test_efficiency_floor(self, table):
+        # efficiencies vs t_seq=1.1: v0 .55, v1 .6875, v2 .7857, v3 .9167, v4 1
+        assert EfficiencyFloorPolicy(floor=0.9).select(table).meta.index == 3
+        assert EfficiencyFloorPolicy(floor=0.75).select(table).meta.index == 2
+
+    def test_efficiency_floor_without_sequential(self):
+        # no 1-thread entry: falls back to fewest cpu-seconds (v1: 0.6 < 0.8)
+        metas = [meta(0, 0.1, 8), meta(1, 0.15, 4)]
+        t = VersionTable("x", tuple(Version(meta=m) for m in metas))
+        assert EfficiencyFloorPolicy().select(t).meta.index == 1
+
+    def test_policy_by_name(self):
+        assert isinstance(policy_by_name("fastest"), FastestPolicy)
+        assert isinstance(policy_by_name("efficient"), MostEfficientPolicy)
+        assert isinstance(policy_by_name("balanced"), WeightedSumPolicy)
+        with pytest.raises(KeyError):
+            policy_by_name("nope")
+
+    def test_describe(self, table):
+        assert "0.5" in WeightedSumPolicy().describe()
+        assert "time_cap" in TimeCapPolicy(0.1).describe()
+
+
+class TestMonitor:
+    def test_context_empty_by_default(self):
+        assert RuntimeMonitor().context() == {}
+
+    def test_set_available_cores(self):
+        m = RuntimeMonitor()
+        m.set_available_cores(8)
+        assert m.context() == {"available_cores": 8}
+        with pytest.raises(ValueError):
+            m.set_available_cores(0)
+
+    def test_record_and_aggregate(self):
+        m = RuntimeMonitor()
+        m.record("mm", 0, 4, 0.1, 0.12)
+        m.record("mm", 1, 2, 0.2, 0.25)
+        assert m.selections() == [0, 1]
+        assert m.total_cpu_seconds() == pytest.approx(0.12 * 4 + 0.25 * 2)
+
+
+class TestRegionExecutor:
+    def _executable_table(self):
+        from repro.analysis import extract_regions
+        from repro.backend import compile_function
+        from repro.frontend import get_kernel
+        from repro.transform import default_skeleton
+
+        k = get_kernel("mm")
+        region = extract_regions(k.function)[0]
+        sk = default_skeleton(region, k.test_size, max_threads=4)
+        versions = []
+        for i, thr in enumerate((4, 1)):
+            values = {"tile_i": 4, "tile_j": 4, "tile_k": 4, "threads": thr}
+            fn = sk.instantiate(values).apply()
+            versions.append(
+                Version(
+                    meta=meta(i, 0.1 * (i + 1), thr),
+                    fn=compile_function(fn, name=f"mm_v{i}"),
+                )
+            )
+        return k, VersionTable("mm", tuple(versions))
+
+    def test_execute_records_history(self, rng):
+        k, table = self._executable_table()
+        ex = RegionExecutor(table)
+        inputs = k.make_inputs(k.test_size, rng)
+        arrs = {n: v.copy() for n, v in inputs.items()}
+        v = ex.execute(arrs, k.test_size)
+        assert ex.monitor.history[-1].version_index == v.meta.index
+        ref = k.reference(inputs, k.test_size)
+        assert np.allclose(arrs["C"], ref["C"])
+
+    def test_dynamic_reselection_on_core_change(self):
+        """The abstract's scenario: circumstances change, the runtime picks
+        a different version."""
+        _, table = self._executable_table()
+        ex = RegionExecutor(table, policy=ThreadCapPolicy())
+        ex.monitor.set_available_cores(4)
+        first = ex.select().meta.index
+        ex.monitor.set_available_cores(1)
+        second = ex.select().meta.index
+        assert first != second
+
+    def test_policy_swap(self, table):
+        ex = RegionExecutor(table)
+        ex.set_policy(FastestPolicy())
+        assert ex.select().meta.index == 0
+        ex.set_policy(MostEfficientPolicy())
+        assert ex.select().meta.index == 4
+
+
+class TestRecalibration:
+    def _table(self):
+        metas = [meta(0, 0.05, 4), meta(1, 0.2, 1)]
+        return VersionTable("mm", tuple(Version(meta=m) for m in metas))
+
+    def test_updates_after_enough_samples(self):
+        ex = RegionExecutor(self._table())
+        for wall in (0.10, 0.11, 0.12):
+            ex.monitor.record("mm", 0, 4, 0.05, wall)
+        updated = ex.recalibrate(min_samples=3)
+        assert updated == 1
+        v0 = ex.table[0].meta
+        assert v0.time == pytest.approx(0.11)
+        assert v0.resources == pytest.approx(0.44)
+        # v1 untouched (no samples)
+        assert ex.table[1].meta.time == 0.2
+
+    def test_too_few_samples_no_update(self):
+        ex = RegionExecutor(self._table())
+        ex.monitor.record("mm", 0, 4, 0.05, 0.5)
+        assert ex.recalibrate(min_samples=3) == 0
+        assert ex.table[0].meta.time == 0.05
+
+    def test_other_regions_ignored(self):
+        ex = RegionExecutor(self._table())
+        for _ in range(5):
+            ex.monitor.record("other", 0, 4, 0.05, 9.9)
+        assert ex.recalibrate(min_samples=3) == 0
+
+    def test_selection_changes_after_recalibration(self):
+        """Observed reality flips the fastest version."""
+        ex = RegionExecutor(self._table(), policy=FastestPolicy())
+        assert ex.select().meta.index == 0
+        for wall in (0.9, 1.0, 1.1):  # v0 is actually slow in production
+            ex.monitor.record("mm", 0, 4, 0.05, wall)
+        ex.recalibrate(min_samples=3)
+        assert ex.select().meta.index == 1
+
+    def test_energy_scaled_proportionally(self):
+        m = VersionMeta(index=0, time=0.1, resources=0.4, threads=4,
+                        tile_sizes=(), energy=10.0)
+        table = VersionTable("mm", (Version(meta=m),))
+        ex = RegionExecutor(table)
+        for wall in (0.2, 0.2, 0.2):
+            ex.monitor.record("mm", 0, 4, 0.1, wall)
+        ex.recalibrate()
+        assert ex.table[0].meta.energy == pytest.approx(20.0)

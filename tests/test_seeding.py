@@ -1,0 +1,114 @@
+"""Tests for informed population seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_regions
+from repro.evaluation import RegionCostModel
+from repro.frontend import get_kernel
+from repro.machine import BARCELONA, WESTMERE
+from repro.optimizer import ParameterSpace, RSGDE3, TuningProblem
+from repro.optimizer.rsgde3 import RSGDE3Settings
+from repro.optimizer.gde3 import GDE3Settings
+from repro.optimizer.seeding import informed_seeds, mixed_initial_vectors
+from repro.transform import default_skeleton
+from repro.util.rng import derive_rng
+
+
+@pytest.fixture
+def mm_space_model():
+    k = get_kernel("mm")
+    region = extract_regions(k.function)[0]
+    sk = default_skeleton(region, {"N": 1400}, WESTMERE.total_cores)
+    model = RegionCostModel(region, {"N": 1400}, WESTMERE,
+                            parallel_spec=sk.parallel_spec())
+    return ParameterSpace(sk.parameters), model
+
+
+class TestInformedSeeds:
+    def test_within_domain(self, mm_space_model):
+        space, model = mm_space_model
+        seeds = informed_seeds(space, model, 40)
+        assert len(seeds) > 0
+        for row in seeds:
+            for val, p in zip(row, space.parameters):
+                lo, hi = p.span()
+                assert lo <= val <= hi
+
+    def test_unique(self, mm_space_model):
+        space, model = mm_space_model
+        seeds = informed_seeds(space, model, 100)
+        keys = {tuple(r.tolist()) for r in seeds}
+        assert len(keys) == len(seeds)
+
+    def test_count_respected(self, mm_space_model):
+        space, model = mm_space_model
+        assert len(informed_seeds(space, model, 5)) <= 5
+
+    def test_spread_over_thread_counts(self, mm_space_model):
+        space, model = mm_space_model
+        seeds = informed_seeds(space, model, 60)
+        thr_idx = space.names.index("threads")
+        distinct = {int(r[thr_idx]) for r in seeds}
+        assert len(distinct) >= 3
+
+    def test_includes_untiled_anchor(self, mm_space_model):
+        space, model = mm_space_model
+        seeds = informed_seeds(space, model, 100)
+        ti = space.names.index("tile_i")
+        hi = space.parameter("tile_i").span()[1]
+        assert any(r[ti] == hi for r in seeds)
+
+    def test_no_tile_params_empty(self):
+        from repro.transform.skeleton import Parameter
+
+        space = ParameterSpace((Parameter("threads", 1, 8),))
+        k = get_kernel("mm")
+        region = extract_regions(k.function)[0]
+        model = RegionCostModel(region, {"N": 100}, WESTMERE)
+        assert informed_seeds(space, model, 10).shape == (0, 1)
+
+
+class TestMixedInitialVectors:
+    def test_population_size(self, mm_space_model):
+        space, model = mm_space_model
+        rng = derive_rng(0)
+        vecs = mixed_initial_vectors(space, model, 30, rng, 0.5)
+        assert len(vecs) == 30
+
+    def test_zero_fraction_fully_random(self, mm_space_model):
+        space, model = mm_space_model
+        # fraction rounding keeps at least one seed; near-zero keeps 1
+        vecs = mixed_initial_vectors(space, model, 20, derive_rng(1), 0.05)
+        assert len(vecs) == 20
+
+    def test_full_fraction_capped(self, mm_space_model):
+        space, model = mm_space_model
+        vecs = mixed_initial_vectors(space, model, 8, derive_rng(2), 1.0)
+        assert len(vecs) <= 8
+
+
+class TestSeededRSGDE3:
+    def test_runs_and_improves_start(self):
+        k = get_kernel("mm")
+        region = extract_regions(k.function)[0]
+        sk = default_skeleton(region, {"N": 700}, BARCELONA.total_cores)
+        from repro.evaluation import SimulatedTarget
+
+        model = RegionCostModel(region, {"N": 700}, BARCELONA,
+                                parallel_spec=sk.parallel_spec())
+        problem = TuningProblem.from_skeleton(sk, SimulatedTarget(model, seed=17))
+        settings = RSGDE3Settings(
+            gde3=GDE3Settings(population_size=16),
+            max_generations=8,
+            patience=2,
+            informed_seed_fraction=0.5,
+        )
+        res = RSGDE3(problem, settings).run(seed=3)
+        assert res.size >= 2
+        assert len(res.hv_history) == res.generations + 1
+        # evaluations recorded in the history are monotone
+        evals = [e for e, _ in res.hv_history]
+        assert evals == sorted(evals)

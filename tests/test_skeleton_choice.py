@@ -1,0 +1,123 @@
+"""Tests for skeleton selection as a tuning parameter (paper §III-B1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_regions
+from repro.frontend import get_kernel
+from repro.ir.builder import assign, loop, var
+from repro.ir.visitors import loop_vars
+from repro.machine import WESTMERE
+from repro.optimizer import RSGDE3
+from repro.optimizer.gde3 import GDE3Settings
+from repro.optimizer.rsgde3 import RSGDE3Settings
+from repro.optimizer.skeleton_choice import (
+    SkeletonChoiceProblem,
+    build_skeleton_choice,
+    legal_loop_orders,
+)
+
+
+class TestLegalLoopOrders:
+    def test_mm_fully_permutable(self, mm_region):
+        orders = legal_loop_orders(mm_region)
+        assert len(orders) == 6  # reduction self-dependence is exempt
+
+    def test_wavefront_restricts_orders(self):
+        from repro.analysis import extract_regions
+        from repro.ir.builder import array, func, param
+        from repro.ir.types import I64
+
+        i, j = var("i"), var("j")
+        body = assign(var("A")[i, j], var("A")[i - 1, j + 1] + 0.0)
+        nest = loop("i", 1, "N", loop("j", 0, var("N") - 1, body))
+        fn = func("f", [param("N", I64), array("A", "N", "N")], nest)
+        region = extract_regions(fn)[0]
+        # band collapses to just (i,): only the identity order of it remains
+        orders = legal_loop_orders(region)
+        assert orders == [("i",)]
+
+    def test_stencil_all_orders(self):
+        k = get_kernel("stencil3d")
+        region = extract_regions(k.function)[0]
+        assert len(legal_loop_orders(region)) == 6
+
+
+class TestBuildSkeletonChoice:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        k = get_kernel("mm")
+        return build_skeleton_choice(k.function, {"N": 700}, WESTMERE, seed=5)
+
+    def test_space_has_skeleton_parameter(self, problem):
+        assert "skeleton" in problem.space.names
+        p = problem.space.parameter("skeleton")
+        assert p.choices == tuple(range(len(problem.orders)))
+
+    def test_sub_problem_per_order(self, problem):
+        assert len(problem.sub_problems) == len(problem.orders)
+
+    def test_models_differ_by_order(self, problem):
+        """Loop order matters: the same tiles cost differently in different
+        orders (column walks vs row walks)."""
+        tiles = {"i": 96, "j": 288, "k": 9}
+        times = [
+            sub.target.true_time(tiles, 10) for sub in problem.sub_problems
+        ]
+        assert max(times) / min(times) > 3
+
+    def test_evaluate_dispatches_by_skeleton(self, problem):
+        values = {"tile_i": 64, "tile_j": 64, "tile_k": 8, "threads": 10}
+        c0 = problem.evaluate({**values, "skeleton": 0})
+        c_bad = None
+        for idx in range(len(problem.orders)):
+            c = problem.evaluate({**values, "skeleton": idx})
+            if c_bad is None or c.objectives[0] > c_bad.objectives[0]:
+                c_bad = c
+        assert c_bad.objectives[0] > c0.objectives[0]
+
+    def test_batch_matches_single(self, problem):
+        names = problem.space.names
+        values = {"tile_i": 32, "tile_j": 64, "tile_k": 8, "threads": 5, "skeleton": 1}
+        vec = np.array([[values[n] for n in names]], dtype=float)
+        batch = problem.evaluate_batch(vec)[0]
+        single = problem.evaluate(values)
+        assert batch.objectives == single.objectives
+
+    def test_evaluations_sum_over_subproblems(self, problem):
+        before = problem.evaluations
+        problem.evaluate(
+            {"tile_i": 11, "tile_j": 11, "tile_k": 11, "threads": 2, "skeleton": 2}
+        )
+        assert problem.evaluations == before + 1
+
+    def test_max_orders_cap(self):
+        k = get_kernel("mm")
+        p = build_skeleton_choice(k.function, {"N": 300}, WESTMERE, max_orders=2)
+        assert len(p.orders) == 2
+
+
+class TestOptimizerOverSkeletonChoice:
+    def test_rsgde3_prefers_good_orders(self):
+        k = get_kernel("mm")
+        problem = build_skeleton_choice(k.function, {"N": 1400}, WESTMERE, seed=5)
+        settings = RSGDE3Settings(
+            gde3=GDE3Settings(population_size=20),
+            max_generations=15,
+            patience=3,
+            protect=frozenset({"threads", "skeleton"}),
+        )
+        res = RSGDE3(problem, settings).run(seed=2)
+        assert res.size >= 3
+        chosen = {c.value("skeleton") for c in res.front}
+        # the orders with the innermost i loop (column-walking C and A)
+        # are several times slower and must not dominate the front
+        bad = {
+            idx
+            for idx, order in enumerate(problem.orders)
+            if order[-1] == "i"
+        }
+        front_bad = sum(1 for c in res.front if c.value("skeleton") in bad)
+        assert front_bad <= len(res.front) // 3

@@ -1,0 +1,110 @@
+"""Tests for loop skewing (the wavefront-enabling transformation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.dependence import analyze_dependences
+from repro.ir.builder import array, assign, func, loop, param, var
+from repro.ir.interp import run_function
+from repro.ir.types import I64
+from repro.ir.visitors import loop_nest
+from repro.transform.skew import skew, skew_factor_for_band, skewed_directions
+
+
+def wavefront_nest():
+    """A[i][j] = A[i-1][j+1] + A[i-1][j]: distances (1,-1) and (1,0)."""
+    i, j = var("i"), var("j")
+    body = assign(
+        var("A")[i, j], var("A")[i - 1, j + 1] + var("A")[i - 1, j] + 1.0
+    )
+    return loop("i", 1, var("N") - 1, loop("j", 0, var("N") - 1, body))
+
+
+def run_wavefront(nest, n=10):
+    fn = func("f", [param("N", I64), array("A", "N", "N")], nest)
+    rng = np.random.default_rng(0)
+    data = {"A": rng.standard_normal((n, n))}
+    return run_function(fn, data, {"N": n})["A"]
+
+
+class TestSkew:
+    def test_zero_factor_identity(self):
+        nest = wavefront_nest()
+        assert skew(nest, "i", "j", 0) is nest
+
+    def test_structure(self):
+        nest = skew(wavefront_nest(), "i", "j", 1)
+        loops = loop_nest(nest)
+        assert loops[1].annotation("skewed_by") == ("i", 1)
+
+    @pytest.mark.parametrize("factor", [1, 2, 3])
+    def test_execution_order_unchanged(self, factor):
+        """Skewing alone must not change results (it only reindexes)."""
+        plain = run_wavefront(wavefront_nest())
+        skewed = run_wavefront(skew(wavefront_nest(), "i", "j", factor))
+        assert np.allclose(plain, skewed)
+
+    def test_validates_loop_names(self):
+        with pytest.raises(ValueError):
+            skew(wavefront_nest(), "z", "j", 1)
+        with pytest.raises(ValueError):
+            skew(wavefront_nest(), "j", "i", 1)  # inner does not enclose outer
+
+
+class TestSkewedDirections:
+    def test_wavefront_becomes_nonnegative(self):
+        nest = wavefront_nest()
+        deps = analyze_dependences(nest)
+        lvars = ["i", "j"]
+        # before skewing some dependence has a '>' inner direction
+        assert any(d.directions[1] == ">" for d in deps if d.distance)
+        for dep in deps:
+            if dep.distance is None:
+                continue
+            dirs = skewed_directions(dep, lvars, "i", "j", 1)
+            assert dirs[1] in ("=", "<"), (dep, dirs)
+
+    def test_factor_search(self):
+        nest = wavefront_nest()
+        deps = analyze_dependences(nest)
+        f = skew_factor_for_band(deps, ["i", "j"], "i", "j")
+        assert f == 1
+
+    def test_factor_search_zero_when_already_legal(self):
+        k_nest = loop(
+            "i", 1, "N",
+            loop("j", 0, "N", assign(var("A")[var("i"), var("j")],
+                                     var("A")[var("i") - 1, var("j")] + 1.0)),
+        )
+        deps = analyze_dependences(k_nest)
+        assert skew_factor_for_band(deps, ["i", "j"], "i", "j") == 0
+
+    def test_factor_search_gives_up_gracefully(self):
+        from repro.analysis.dependence import Dependence, DependenceKind
+
+        # an unknown-distance '*' dependence can never be fixed by skewing
+        dep = Dependence("A", DependenceKind.FLOW, ("*", "*"), None)
+        assert skew_factor_for_band([dep], ["i", "j"], "i", "j") is None
+
+
+class TestSkewEnablesTiling:
+    def test_skewed_wavefront_is_tilable_by_execution(self):
+        """After skewing with factor 1, tiling the (i, j') band preserves
+        the wavefront's semantics — the end-to-end point of skewing."""
+        from repro.transform import tile
+
+        plain = run_wavefront(wavefront_nest(), n=12)
+        skewed = skew(wavefront_nest(), "i", "j", 1)
+        tiled = tile(skewed, {"i": 3, "j": 4})
+        result = run_wavefront(tiled, n=12)
+        assert np.allclose(plain, result)
+
+    def test_untiled_skew_then_tile_various_sizes(self):
+        from repro.transform import tile
+
+        plain = run_wavefront(wavefront_nest(), n=9)
+        for ti, tj in ((2, 2), (4, 5), (1, 7)):
+            tiled = tile(skew(wavefront_nest(), "i", "j", 1), {"i": ti, "j": tj})
+            assert np.allclose(plain, run_wavefront(tiled, n=9)), (ti, tj)
