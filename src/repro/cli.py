@@ -45,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", metavar="FILE", help="write here instead of stdout")
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--repetitions", type=int, default=3)
+    report.add_argument(
+        "--workers",
+        default="1",
+        metavar="N",
+        help="evaluation-engine workers (integer or 'auto' = 3/4 of cores)",
+    )
 
     def add_tune_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--machine", default="westmere", help="westmere | barcelona")
@@ -62,6 +68,19 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--seed", type=int, default=0)
         p.add_argument(
+            "--workers",
+            default="1",
+            metavar="N",
+            help="evaluate configuration batches with N worker threads "
+            "(integer or 'auto' = 3/4 of cores); results are bit-identical "
+            "to the serial default",
+        )
+        p.add_argument(
+            "--engine-stats",
+            action="store_true",
+            help="print evaluation-engine accounting after tuning",
+        )
+        p.add_argument(
             "--energy",
             action="store_true",
             help="tune (time, resources, energy) instead of (time, resources)",
@@ -77,6 +96,20 @@ def build_parser() -> argparse.ArgumentParser:
     tune_file.add_argument("path", help="file with one kernel function")
     add_tune_options(tune_file)
     return parser
+
+
+def _parse_workers(value: str) -> int | str:
+    if value == "auto":
+        return "auto"
+    try:
+        workers = int(value)
+    except ValueError:
+        raise SystemExit(
+            f"--workers expects an integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    return workers
 
 
 def _parse_sizes(entries: list[str]) -> dict[str, int]:
@@ -127,7 +160,9 @@ def _cmd_machines(out) -> int:
 
 def _cmd_tune(args, out) -> int:
     machine = machine_by_name(args.machine)
-    driver = TuningDriver(machine=machine, seed=args.seed)
+    driver = TuningDriver(
+        machine=machine, seed=args.seed, workers=_parse_workers(args.workers)
+    )
     sizes = _parse_sizes(args.size)
 
     if args.command == "tune":
@@ -147,6 +182,13 @@ def _cmd_tune(args, out) -> int:
         )
 
     print(tuned.summary(), file=out)
+
+    stats = tuned.engine_stats
+    if args.engine_stats and stats is not None:
+        print(
+            f"engine: workers={tuned.engine.max_workers} {stats.summary()}",
+            file=out,
+        )
 
     if args.emit_c:
         unit = tuned.emit_c()
@@ -170,6 +212,11 @@ def _cmd_tune(args, out) -> int:
                 for c in tuned.result.front
             ],
         }
+        if stats is not None:
+            payload["engine"] = {
+                "workers": tuned.engine.max_workers,
+                **stats.as_dict(),
+            }
         Path(args.json).write_text(json.dumps(payload, indent=1))
         print(f"wrote {args.json}", file=out)
     return 0
@@ -178,7 +225,11 @@ def _cmd_tune(args, out) -> int:
 def _cmd_report(args, out) -> int:
     from repro.report import generate_report
 
-    text = generate_report(repetitions=args.repetitions, seed=args.seed)
+    text = generate_report(
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=_parse_workers(args.workers),
+    )
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}", file=out)

@@ -7,9 +7,11 @@ tiled, parallelized region on a :class:`~repro.machine.model.MachineModel`
 from first principles (cache-capacity-driven traffic, bandwidth saturation,
 load imbalance, parallel overheads), :mod:`repro.evaluation.simulator` adds
 measurement noise and the median-of-k protocol the paper uses, and
-:mod:`repro.evaluation.parallel_eval` evaluates configuration batches the
-way the paper's optimizer does ("multiple independent configurations are
-generated, compiled and ... evaluated in parallel").
+:mod:`repro.evaluation.parallel_eval` provides the parallel, fault-tolerant
+:class:`~repro.evaluation.parallel_eval.EvaluationEngine` that evaluates
+configuration batches the way the paper's optimizer does ("multiple
+independent configurations are generated, compiled and ... evaluated in
+parallel") while keeping the ledger exact under concurrency.
 
 :mod:`repro.evaluation.native` can also *really* execute generated NumPy
 versions for small problem sizes (used to sanity-check the pipeline, not
@@ -19,7 +21,15 @@ for the paper-scale experiments).
 from repro.evaluation.cost import RegionCostModel
 from repro.evaluation.measurements import Measurement, MeasurementProtocol
 from repro.evaluation.simulator import SimulatedTarget
-from repro.evaluation.parallel_eval import BatchEvaluator
+from repro.evaluation.parallel_eval import (
+    BatchEvaluator,
+    BatchResult,
+    EngineStats,
+    EvaluationEngine,
+    FaultPolicy,
+    FlakyFaultPolicy,
+    auto_workers,
+)
 from repro.evaluation.native import NativeExecutor
 from repro.evaluation.objectives import (
     Objectives,
@@ -34,6 +44,12 @@ __all__ = [
     "Measurement",
     "MeasurementProtocol",
     "BatchEvaluator",
+    "BatchResult",
+    "EngineStats",
+    "EvaluationEngine",
+    "FaultPolicy",
+    "FlakyFaultPolicy",
+    "auto_workers",
     "NativeExecutor",
     "Objectives",
     "speedup",

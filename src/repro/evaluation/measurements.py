@@ -40,13 +40,20 @@ class MeasurementProtocol:
 
     :param repetitions: samples per configuration (the paper evaluates each
         configuration "multiple times"; 5 is our default).
+    :param overhead_s: fixed wall-clock cost per measured configuration
+        (seconds, slept by the simulated target).  Models the generate +
+        compile + run latency of a real evaluation pipeline; the parallel
+        evaluation engine benchmarks use it to exercise worker scaling.
     """
 
     repetitions: int = 5
+    overhead_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.repetitions < 1:
             raise ValueError("repetitions must be >= 1")
+        if self.overhead_s < 0:
+            raise ValueError("overhead_s must be >= 0")
 
     def measure(self, sampler) -> Measurement:
         """Aggregate ``repetitions`` calls of ``sampler() -> float``."""

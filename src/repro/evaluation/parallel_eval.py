@@ -1,25 +1,169 @@
-"""Batch evaluation of configuration sets.
+"""The parallel evaluation engine.
 
 Paper §III-A: "multiple independent configurations are generated, compiled
 and if possible evaluated in parallel on distinct instances of the targeted
 platform", and §IV notes the evaluator "exploits the availability of
 multiple cores ... to generate, compile and execute code versions in
-parallel".  :class:`BatchEvaluator` reproduces that interface: it takes the
-list of configurations an optimizer generation produces and evaluates them
-as a batch, optionally with a thread pool (the simulated evaluator releases
-the GIL only trivially, but the structure — and the per-batch accounting —
-matches the paper's design and works unchanged with a heavier evaluator).
+parallel".  :class:`EvaluationEngine` is that component: optimizers hand it
+the configurations of one generation and it runs a three-stage pipeline —
+
+1. **dedup** — configurations are canonicalized (via the target's
+   ``config_key``) and deduplicated both within the batch and against the
+   target's memo cache, so each unique configuration is computed at most
+   once per run;
+2. **dispatch** — unique configurations fan out to a worker pool
+   (``max_workers="auto"`` sizes it at three quarters of the visible cores,
+   the MITuna default).  Workers are *pure*: they produce
+   ``key → (Objectives, Measurement)`` results without touching the
+   evaluation ledger;
+3. **commit** — the engine commits worker results serially, in batch
+   order, through the target's locked single-writer ``commit``.  Because
+   measurement noise is hash-derived per key, results are bit-identical to
+   the serial path and the ``E`` metric (paper Table VI) stays exact no
+   matter how many workers race.
+
+A robustness layer wraps dispatch: per-configuration timeout, bounded retry
+with linear backoff, and graceful degradation — configurations whose pooled
+attempts keep failing are rescued serially in the caller's thread, and an
+engine that has to rescue ``degrade_after`` consecutive batches stops using
+the pool altogether.  :class:`FaultPolicy` injects failures for testing.
+:class:`EngineStats` records the accounting (dispatched / cache hits /
+deduped / retried / failed, wall time).
+
+``BatchEvaluator`` remains as a backwards-compatible alias.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, field, fields
 
+from repro.evaluation.measurements import Measurement
 from repro.evaluation.objectives import Objectives
 from repro.evaluation.simulator import SimulatedTarget
 
-__all__ = ["BatchEvaluator", "BatchResult"]
+__all__ = [
+    "EvaluationEngine",
+    "EngineStats",
+    "BatchResult",
+    "FaultPolicy",
+    "FlakyFaultPolicy",
+    "InjectedFault",
+    "EvaluationError",
+    "BatchEvaluator",
+    "auto_workers",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Raised by fault policies to simulate a worker failure."""
+
+
+class EvaluationError(RuntimeError):
+    """A configuration could not be evaluated even after retries and the
+    serial rescue path."""
+
+
+def auto_workers() -> int:
+    """Default worker-pool width: ``nproc * 3 / 4`` (MITuna's default),
+    never below 1."""
+    return max(1, (os.cpu_count() or 4) * 3 // 4)
+
+
+class FaultPolicy:
+    """Injectable fault hook for testing the engine's robustness layer.
+
+    :meth:`check` is called before every computation attempt.  The base
+    policy never fails; subclasses raise (or sleep, to trip the timeout
+    path) to simulate flaky compilers, crashed runs, or hung targets.
+    """
+
+    def check(self, key: tuple, attempt: int, serial: bool) -> None:
+        """Called with the canonical config key, the 1-based attempt number
+        and whether the attempt runs serially in the caller's thread (the
+        rescue/degraded path) rather than on the worker pool."""
+
+
+@dataclass
+class FlakyFaultPolicy(FaultPolicy):
+    """Deterministic fault injection.
+
+    :param fail_attempts: raise :class:`InjectedFault` on pooled attempts
+        ``<= fail_attempts`` (0 disables).
+    :param slow_attempts: sleep ``delay_s`` on pooled attempts
+        ``<= slow_attempts`` — combined with an engine timeout this
+        exercises the timeout/retry path.
+    :param keys: restrict the faults to these canonical keys (None = all).
+    :param fail_serial: also fail serial (rescue) attempts — makes the
+        failure terminal.
+    """
+
+    fail_attempts: int = 0
+    slow_attempts: int = 0
+    delay_s: float = 0.0
+    keys: frozenset | None = None
+    fail_serial: bool = False
+    calls: list = field(default_factory=list)
+
+    def check(self, key: tuple, attempt: int, serial: bool) -> None:
+        if self.keys is not None and key not in self.keys:
+            return
+        self.calls.append((key, attempt, serial))
+        if serial:
+            if self.fail_serial:
+                raise InjectedFault(f"injected serial fault for {key}")
+            return
+        if attempt <= self.slow_attempts and self.delay_s > 0:
+            time.sleep(self.delay_s)
+        if attempt <= self.fail_attempts:
+            raise InjectedFault(f"injected fault for {key} (attempt {attempt})")
+
+
+@dataclass
+class EngineStats:
+    """Evaluation-engine accounting (cumulative or per batch).
+
+    ``configs = dispatched + cache_hits + deduped`` always holds; ``E``
+    grows by exactly ``new_evaluations``.
+    """
+
+    batches: int = 0
+    configs: int = 0
+    #: unique configurations actually computed
+    dispatched: int = 0
+    #: configurations served from the target's memo cache
+    cache_hits: int = 0
+    #: duplicate configurations within batches (computed once)
+    deduped: int = 0
+    #: ledger commits (== dispatched unless an external caller raced)
+    new_evaluations: int = 0
+    #: retry attempts after pooled failures/timeouts
+    retried: int = 0
+    #: pooled attempts abandoned after the per-config timeout
+    timeouts: int = 0
+    #: configurations rescued serially after all pooled attempts failed
+    failed: int = 0
+    #: batches evaluated serially because the engine degraded
+    serial_fallbacks: int = 0
+    wall_time_s: float = 0.0
+
+    def merge(self, other: "EngineStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def summary(self) -> str:
+        return (
+            f"batches={self.batches} configs={self.configs} "
+            f"dispatched={self.dispatched} cache_hits={self.cache_hits} "
+            f"deduped={self.deduped} retried={self.retried} "
+            f"failed={self.failed} wall={self.wall_time_s:.3f}s"
+        )
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 @dataclass(frozen=True)
@@ -28,34 +172,196 @@ class BatchResult:
 
     objectives: tuple[Objectives, ...]
     new_evaluations: int
+    stats: EngineStats | None = None
 
 
-@dataclass
-class BatchEvaluator:
-    """Evaluates configuration batches against a :class:`SimulatedTarget`.
+class EvaluationEngine:
+    """Parallel, fault-tolerant batch evaluator over a target platform.
 
-    :param target: the (simulated) platform.
-    :param max_workers: >1 evaluates the batch with a thread pool,
-        mirroring the paper's parallel evaluation of independent
-        configurations.
+    :param target: the (simulated) platform; must provide ``config_key``,
+        ``lookup``, pure ``compute_keys`` and single-writer ``commit``.
+    :param max_workers: worker threads; ``"auto"`` → :func:`auto_workers`,
+        1 (the default) evaluates serially through the same pipeline.
+    :param timeout_s: per-configuration wall-time limit for pooled
+        attempts (the worker thread cannot be killed, but its result is
+        abandoned and the attempt retried).  None disables.
+    :param retries: extra attempts after a failed/timed-out pooled attempt.
+    :param backoff_s: linear backoff between retry rounds.
+    :param degrade_after: after this many consecutive batches needing the
+        serial rescue, the engine stops using the pool entirely.
+    :param fault_policy: test hook, see :class:`FaultPolicy`.
     """
 
-    target: SimulatedTarget
-    max_workers: int = 1
+    def __init__(
+        self,
+        target: SimulatedTarget,
+        max_workers: int | str = 1,
+        timeout_s: float | None = None,
+        retries: int = 2,
+        backoff_s: float = 0.02,
+        degrade_after: int = 2,
+        fault_policy: FaultPolicy | None = None,
+    ) -> None:
+        if max_workers == "auto" or max_workers is None:
+            max_workers = auto_workers()
+        if int(max_workers) < 1:
+            raise ValueError("max_workers must be >= 1 (or 'auto')")
+        self.target = target
+        self.max_workers = int(max_workers)
+        self.timeout_s = timeout_s
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.degrade_after = int(degrade_after)
+        self.fault_policy = fault_policy
+        #: cumulative accounting across all batches
+        self.stats = EngineStats()
+        self._degraded = False
+        self._strikes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """Whether repeated worker failures forced permanent serial mode."""
+        return self._degraded
+
+    def reset_faults(self) -> None:
+        """Re-arm the worker pool after degradation."""
+        self._degraded = False
+        self._strikes = 0
+
+    # ------------------------------------------------------------------
 
     def evaluate_batch(
         self, configs: list[tuple[dict[str, int], int]]
     ) -> BatchResult:
-        """Evaluate ``[(tile_sizes, threads), ...]``; preserves order."""
-        before = self.target.evaluations
-        if self.max_workers > 1 and len(configs) > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                results = list(
-                    pool.map(lambda c: self.target.evaluate(c[0], c[1]), configs)
-                )
-        else:
-            results = [self.target.evaluate(tiles, thr) for tiles, thr in configs]
+        """Evaluate ``[(tile_sizes, threads), ...]``; preserves order.
+
+        Results are bit-identical for any ``max_workers`` and the ledger's
+        ``E`` grows by exactly the number of configurations that were new
+        to the target.
+        """
+        t0 = time.perf_counter()
+        batch = EngineStats(batches=1, configs=len(configs))
+
+        keys = [self.target.config_key(tiles, thr) for tiles, thr in configs]
+        pending: dict[tuple, None] = {}
+        for key in keys:
+            if key in pending:
+                batch.deduped += 1
+            elif self.target.lookup(key) is not None:
+                batch.cache_hits += 1
+            else:
+                pending[key] = None
+        order = list(pending)
+        batch.dispatched = len(order)
+
+        results: dict[tuple, tuple[Objectives, Measurement]] = {}
+        serial = self.max_workers == 1 or self._degraded or len(order) <= 1
+        if order:
+            if serial:
+                if self._degraded:
+                    batch.serial_fallbacks += 1
+                self._compute_serial(order, results, batch)
+            else:
+                self._compute_parallel(order, results, batch)
+
+        # single-writer commit, in batch order — the only ledger mutation
+        for key in order:
+            obj, measurement = results[key]
+            if self.target.commit(key, obj, measurement):
+                batch.new_evaluations += 1
+
+        objectives = tuple(self.target.lookup(key) for key in keys)
+        batch.wall_time_s = time.perf_counter() - t0
+        self.stats.merge(batch)
         return BatchResult(
-            objectives=tuple(results),
-            new_evaluations=self.target.evaluations - before,
+            objectives=objectives,
+            new_evaluations=batch.new_evaluations,
+            stats=batch,
         )
+
+    # -- serial path -------------------------------------------------------
+
+    def _compute_serial(self, order, results, batch) -> None:
+        if self.fault_policy is None:
+            # bulk vectorized computation; bit-identical to any chunking
+            for key, result in zip(order, self.target.compute_keys(order)):
+                results[key] = result
+            return
+        for key in order:
+            results[key] = self._rescue(key, batch, first_attempt=1)
+
+    # -- pooled path -------------------------------------------------------
+
+    def _compute_parallel(self, order, results, batch) -> None:
+        remaining = list(order)
+        attempt = 1
+        pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-eval"
+        )
+        try:
+            while remaining and attempt <= 1 + self.retries:
+                if attempt > 1:
+                    batch.retried += len(remaining)
+                    time.sleep(self.backoff_s * (attempt - 1))
+                futures = {
+                    key: pool.submit(self._compute_one, key, attempt, False)
+                    for key in remaining
+                }
+                still_failing = []
+                for key, future in futures.items():
+                    try:
+                        results[key] = future.result(timeout=self.timeout_s)
+                    except _FuturesTimeout:
+                        batch.timeouts += 1
+                        future.cancel()
+                        still_failing.append(key)
+                    except Exception:
+                        still_failing.append(key)
+                remaining = still_failing
+                attempt += 1
+        finally:
+            # don't wait for abandoned (timed-out) workers
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        if remaining:
+            batch.failed += len(remaining)
+            self._strikes += 1
+            if self._strikes >= self.degrade_after:
+                self._degraded = True
+            for key in remaining:
+                results[key] = self._rescue(key, batch, first_attempt=attempt)
+        else:
+            self._strikes = 0
+
+    def _compute_one(
+        self, key: tuple, attempt: int, serial: bool
+    ) -> tuple[Objectives, Measurement]:
+        """Pure per-configuration computation (worker body)."""
+        if self.fault_policy is not None:
+            self.fault_policy.check(key, attempt, serial)
+        return self.target.compute_keys([key])[0]
+
+    def _rescue(
+        self, key: tuple, batch: EngineStats, first_attempt: int
+    ) -> tuple[Objectives, Measurement]:
+        """Serial computation with bounded retries; the last line of
+        defence — raises :class:`EvaluationError` if even this fails."""
+        last_error: Exception | None = None
+        for attempt in range(first_attempt, first_attempt + self.retries + 1):
+            try:
+                return self._compute_one(key, attempt, serial=True)
+            except Exception as exc:  # noqa: BLE001 — deliberate catch-all
+                last_error = exc
+                batch.retried += 1
+                time.sleep(self.backoff_s)
+        raise EvaluationError(
+            f"configuration {key} failed after {self.retries + 1} serial attempts"
+        ) from last_error
+
+
+#: Backwards-compatible alias — the old BatchEvaluator interface
+#: (``BatchEvaluator(target, max_workers=n).evaluate_batch(configs)``) is a
+#: strict subset of the engine's.
+BatchEvaluator = EvaluationEngine

@@ -13,9 +13,20 @@ The target also keeps the evaluation ledger: ``evaluations`` is the metric
 a solution set").  Results are memoized per configuration — re-querying a
 known configuration hits the cache, mirroring an auto-tuner that records
 its history.
+
+The ledger is **thread-safe**: measurement itself is pure (see
+:meth:`SimulatedTarget.compute_keys`) and all ledger mutation goes through
+the locked :meth:`SimulatedTarget.commit`, so concurrent evaluators —
+external callers as well as the
+:class:`~repro.evaluation.parallel_eval.EvaluationEngine` worker pool —
+can never lose ``E`` increments or double-count a configuration.
 """
 
 from __future__ import annotations
+
+import threading
+import time as _time
+from collections.abc import Sequence
 
 import numpy as np
 from scipy.special import ndtri
@@ -60,6 +71,7 @@ class SimulatedTarget:
         self.evaluations = 0
         self._cache: dict[tuple, Objectives] = {}
         self._measurements: dict[tuple, Measurement] = {}
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -91,14 +103,82 @@ class SimulatedTarget:
         )
         return np.exp(self.noise * ndtri(u))
 
+    # -- pure computation (no ledger mutation) ----------------------------
+
+    def compute_keys(
+        self, keys: Sequence[tuple]
+    ) -> list[tuple[Objectives, Measurement]]:
+        """Measure canonical keys **purely** — the ledger is not touched.
+
+        This is the worker half of the engine's dedup → dispatch → commit
+        pipeline: because the noise is hash-derived per (key, repetition),
+        the result of a key is independent of evaluation order and of how a
+        batch is partitioned across workers, so any chunking of *keys* is
+        bit-identical to one bulk call (``time_batch`` is row-elementwise).
+        Callers are responsible for recording results via :meth:`commit`.
+        """
+        if not len(keys):
+            return []
+        tiles = np.array([k[:-1] for k in keys], dtype=np.int64)
+        threads = np.array([k[-1] for k in keys], dtype=np.int64)
+        true_times = self.model.time_batch(tiles, threads, collapsed=self.collapsed)
+        reps = self.protocol.repetitions
+        overhead = self.protocol.overhead_s
+        out = []
+        for key, true_time in zip(keys, true_times):
+            if overhead > 0:
+                _time.sleep(overhead)
+            samples = tuple(true_time * self._noise_factors(key, reps))
+            measurement = Measurement(value=median(samples), samples=samples)
+            energy = None
+            if self.measure_energy:
+                # energy measurements share the run's jitter: scale the
+                # model energy by the same median noise factor as the time
+                tile_map = {v: int(x) for v, x in zip(self.band, key[:-1])}
+                true_energy = self.model.energy(
+                    tile_map, int(key[-1]), collapsed=self.collapsed
+                )
+                energy = true_energy * (measurement.value / true_time)
+            obj = Objectives(
+                time=measurement.value, threads=int(key[-1]), energy=energy
+            )
+            out.append((obj, measurement))
+        return out
+
+    # -- the single-writer ledger ------------------------------------------
+
+    def lookup(self, key: tuple) -> Objectives | None:
+        """Memoized result of a canonical key, or None."""
+        with self._lock:
+            return self._cache.get(key)
+
+    def commit(self, key: tuple, obj: Objectives, measurement: Measurement) -> bool:
+        """Record a computed measurement in the ledger; returns whether the
+        key was new (and therefore counted towards ``E``).  Atomic: a key
+        can never be counted twice, and no increment is ever lost."""
+        with self._lock:
+            if key in self._cache:
+                return False
+            self.evaluations += 1
+            self._cache[key] = obj
+            self._measurements[key] = measurement
+            return True
+
     # -- single-configuration path ---------------------------------------
 
     def evaluate(self, tile_sizes: dict[str, int], threads: int) -> Objectives:
-        """Measure a configuration (median of k noisy runs); memoized."""
+        """Measure a configuration (median of k noisy runs); memoized.
+
+        Safe to call from multiple threads: computation happens outside the
+        lock (it is pure and deterministic, so a racing double-compute
+        yields the same value) and :meth:`commit` arbitrates the ledger.
+        """
         key = self.config_key(tile_sizes, threads)
-        hit = self._cache.get(key)
+        hit = self.lookup(key)
         if hit is not None:
             return hit
+        if self.protocol.overhead_s > 0:
+            _time.sleep(self.protocol.overhead_s)
 
         true_time = self.model.time(tile_sizes, threads, collapsed=self.collapsed)
         samples = tuple(true_time * self._noise_factors(key, self.protocol.repetitions))
@@ -110,10 +190,8 @@ class SimulatedTarget:
             true_energy = self.model.energy(tile_sizes, threads, collapsed=self.collapsed)
             energy = true_energy * (measurement.value / true_time)
         obj = Objectives(time=measurement.value, threads=int(threads), energy=energy)
-        self.evaluations += 1
-        self._cache[key] = obj
-        self._measurements[key] = measurement
-        return obj
+        self.commit(key, obj, measurement)
+        return self.lookup(key)
 
     # -- batch path -------------------------------------------------------
 
@@ -126,47 +204,31 @@ class SimulatedTarget:
         :param threads: int array (B,).
         :returns: measured (median-of-k noisy) times, float array (B,).
 
-        Every configuration is counted in the ledger exactly once across
-        both paths; results agree bit-for-bit with :meth:`evaluate`.
+        Duplicates (within the batch or against the memo cache) are
+        deduplicated before computation, so every configuration is counted
+        in the ledger exactly once across both paths; results agree
+        bit-for-bit with :meth:`evaluate`.
         """
         tiles = np.asarray(tiles, dtype=np.int64)
         threads = np.asarray(threads, dtype=np.int64)
         ext = np.array([self.model.extent[v] for v in self.band], dtype=np.int64)
         clipped = np.clip(tiles, 1, ext[None, :])
-        true_times = self.model.time_batch(clipped, threads, collapsed=self.collapsed)
-        reps = self.protocol.repetitions
-        out = np.empty(len(true_times))
-        for b in range(len(true_times)):
-            key = tuple(int(x) for x in clipped[b]) + (int(threads[b]),)
-            cached = self._cache.get(key)
-            if cached is not None:
-                out[b] = cached.time
-                continue
-            samples = tuple(true_times[b] * self._noise_factors(key, reps))
-            measurement = Measurement(value=median(samples), samples=samples)
-            energy = None
-            if self.measure_energy:
-                tile_map = {v: int(x) for v, x in zip(self.band, clipped[b])}
-                true_energy = self.model.energy(
-                    tile_map, int(threads[b]), collapsed=self.collapsed
-                )
-                energy = true_energy * (measurement.value / true_times[b])
-            obj = Objectives(
-                time=measurement.value, threads=int(threads[b]), energy=energy
-            )
-            self.evaluations += 1
-            self._cache[key] = obj
-            self._measurements[key] = measurement
-            out[b] = obj.time
-        return out
+        keys = [
+            tuple(int(x) for x in clipped[b]) + (int(threads[b]),)
+            for b in range(len(clipped))
+        ]
+        pending = dict.fromkeys(k for k in keys if self.lookup(k) is None)
+        for key, result in zip(pending, self.compute_keys(list(pending))):
+            self.commit(key, *result)
+        return np.array([self.lookup(key).time for key in keys])
 
     def cached_objectives(self, tile_sizes: dict[str, int], threads: int) -> Objectives:
         """The full Objectives record of an evaluated configuration."""
         key = self.config_key(tile_sizes, threads)
-        try:
-            return self._cache[key]
-        except KeyError:
-            raise KeyError(f"configuration {key} has not been evaluated") from None
+        hit = self.lookup(key)
+        if hit is None:
+            raise KeyError(f"configuration {key} has not been evaluated")
+        return hit
 
     # -- introspection ----------------------------------------------------
 
@@ -180,6 +242,7 @@ class SimulatedTarget:
 
     def reset_ledger(self) -> None:
         """Clear the evaluation count and cache (fresh experiment run)."""
-        self.evaluations = 0
-        self._cache.clear()
-        self._measurements.clear()
+        with self._lock:
+            self.evaluations = 0
+            self._cache.clear()
+            self._measurements.clear()

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.regions import TunableRegion, extract_regions
 from repro.evaluation.cost import RegionCostModel
+from repro.evaluation.parallel_eval import EvaluationEngine
 from repro.evaluation.simulator import SimulatedTarget
 from repro.frontend.kernels import Kernel, get_kernel
 from repro.machine.model import MachineModel
@@ -89,10 +90,16 @@ class ExperimentSetup:
         )
 
     def problem(
-        self, seed: int | None = None, thread_choices: tuple[int, ...] = ()
+        self,
+        seed: int | None = None,
+        thread_choices: tuple[int, ...] = (),
+        workers: int | str = 1,
     ) -> TuningProblem:
+        target = self.target(seed)
         return TuningProblem.from_skeleton(
-            self.skeleton(thread_choices), self.target(seed)
+            self.skeleton(thread_choices),
+            target,
+            engine=EvaluationEngine(target, max_workers=workers),
         )
 
     def tile_grid(self) -> dict[str, list[int]]:

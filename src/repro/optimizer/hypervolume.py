@@ -34,8 +34,11 @@ def hypervolume(points: np.ndarray, reference: np.ndarray) -> float:
         return 0.0
     if pts.shape[1] != ref.shape[0]:
         raise ValueError("reference dimension mismatch")
-    # clip at reference, drop points that do not dominate it at all
-    inside = (pts < ref).all(axis=1)
+    # clip coordinates at the reference (a point beyond ref in one
+    # objective keeps its contribution from the others); drop only points
+    # that are not strictly inside the box in any dimension
+    pts = np.minimum(pts, ref)
+    inside = (pts < ref).any(axis=1)
     pts = pts[inside]
     if pts.shape[0] == 0:
         return 0.0

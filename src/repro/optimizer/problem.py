@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.evaluation.parallel_eval import EvaluationEngine
 from repro.evaluation.simulator import SimulatedTarget
 from repro.optimizer.config import Configuration
 from repro.optimizer.space import ParameterSpace
@@ -33,18 +34,24 @@ class TuningProblem:
     :param skeleton: retained so solutions can be instantiated into code.
     :param tri_objective: optimize (time, resources, energy) instead of
         (time, resources); requires a target with ``measure_energy=True``.
+    :param engine: the evaluation engine batches are routed through; None
+        builds a serial engine over *target* on first use.  Hand in a
+        multi-worker engine to evaluate generations in parallel.
     """
 
     space: ParameterSpace
     target: SimulatedTarget
     skeleton: TransformationSkeleton | None = None
     tri_objective: bool = False
+    engine: EvaluationEngine | None = None
 
     def __post_init__(self) -> None:
         if self.tri_objective and not self.target.measure_energy:
             raise ValueError(
                 "tri-objective tuning needs a target with measure_energy=True"
             )
+        if self.engine is not None and self.engine.target is not self.target:
+            raise ValueError("engine must evaluate against this problem's target")
 
     @classmethod
     def from_skeleton(
@@ -52,13 +59,23 @@ class TuningProblem:
         skeleton: TransformationSkeleton,
         target: SimulatedTarget,
         tri_objective: bool = False,
+        engine: EvaluationEngine | None = None,
     ) -> "TuningProblem":
         return cls(
             space=ParameterSpace(skeleton.parameters),
             target=target,
             skeleton=skeleton,
             tri_objective=tri_objective,
+            engine=engine,
         )
+
+    @property
+    def evaluation_engine(self) -> EvaluationEngine:
+        """The engine all batch evaluations go through (created serially on
+        first use if none was injected)."""
+        if self.engine is None:
+            self.engine = EvaluationEngine(self.target)
+        return self.engine
 
     @property
     def num_objectives(self) -> int:
@@ -91,34 +108,16 @@ class TuningProblem:
         return self.evaluate(self.space.to_dict(vec))
 
     def evaluate_batch(self, vectors: np.ndarray) -> list[Configuration]:
-        """Evaluate (B, dim) parameter vectors via the target's batch path.
-
-        Mirrors the paper's parallel evaluation of each generation's
-        configurations.
+        """Evaluate (B, dim) parameter vectors through the evaluation
+        engine — the paper's parallel evaluation of each generation's
+        configurations (dedup → dispatch to workers → serial commit).
         """
         vectors = np.asarray(vectors)
-        names = self.space.names
-        band = self.target.band
-        tile_cols = []
-        for v in band:
-            pname = f"tile_{v}"
-            if pname in names:
-                tile_cols.append(vectors[:, names.index(pname)])
-            else:
-                tile_cols.append(np.full(len(vectors), self.target.model.extent[v]))
-        tiles = np.stack(tile_cols, axis=1).astype(np.int64)
-        if "threads" in names:
-            threads = vectors[:, names.index("threads")].astype(np.int64)
-        else:
-            threads = np.ones(len(vectors), dtype=np.int64)
-        times = self.target.evaluate_batch(tiles, threads)
+        values_list = [self.space.to_dict(row) for row in vectors]
+        configs = [self.split_values(values) for values in values_list]
+        result = self.evaluation_engine.evaluate_batch(configs)
         out = []
-        for row, tile_row, t, thr in zip(vectors, tiles, times, threads):
-            values = self.space.to_dict(row)
-            if self.tri_objective:
-                tile_map = {v: int(x) for v, x in zip(band, tile_row)}
-                obj = self.target.cached_objectives(tile_map, int(thr))
-                out.append(Configuration.make(values, obj.vector3()))
-            else:
-                out.append(Configuration.make(values, (float(t), float(t * thr))))
+        for values, obj in zip(values_list, result.objectives):
+            vec = obj.vector3() if self.tri_objective else obj.vector()
+            out.append(Configuration.make(values, vec))
         return out

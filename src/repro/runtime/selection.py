@@ -51,8 +51,13 @@ class WeightedSumPolicy(SelectionPolicy):
     w_resources: float = 0.5
 
     def select(self, table: VersionTable, context: dict | None = None) -> Version:
-        times = [v.meta.time for v in table]
-        ress = [v.meta.resources for v in table]
+        versions = list(table)
+        if not versions:
+            raise ValueError(
+                "cannot select a version from an empty version table"
+            )
+        times = [v.meta.time for v in versions]
+        ress = [v.meta.resources for v in versions]
         t_lo, t_hi = min(times), max(times)
         r_lo, r_hi = min(ress), max(ress)
 
@@ -60,7 +65,7 @@ class WeightedSumPolicy(SelectionPolicy):
             return 0.0 if hi <= lo else (x - lo) / (hi - lo)
 
         return min(
-            table,
+            versions,
             key=lambda v: self.w_time * norm(v.meta.time, t_lo, t_hi)
             + self.w_resources * norm(v.meta.resources, r_lo, r_hi),
         )
@@ -192,11 +197,50 @@ _NAMED = {
     "greenest": GreenestPolicy,
 }
 
+#: parameterized policies: name -> (class, argument parser, arg required).
+#: ``thread_cap`` and ``efficiency_floor`` have sensible defaults (context
+#: cores / 0.8), the cap policies need an explicit budget.
+_PARAMETERIZED = {
+    "time_cap": (TimeCapPolicy, float, True),
+    "thread_cap": (ThreadCapPolicy, int, False),
+    "efficiency_floor": (EfficiencyFloorPolicy, float, False),
+    "energy_cap": (EnergyCapPolicy, float, True),
+}
+
+
+def _available() -> list[str]:
+    return sorted(_NAMED) + sorted(f"{n}:<value>" for n in _PARAMETERIZED)
+
 
 def policy_by_name(name: str) -> SelectionPolicy:
-    """Construct a policy from a short name (``fastest``, ``efficient``,
-    ``balanced``)."""
-    try:
-        return _NAMED[name]()
-    except KeyError:
-        raise KeyError(f"unknown policy {name!r}; available: {sorted(_NAMED)}") from None
+    """Construct a policy from a short name.
+
+    Plain names: ``fastest``, ``efficient``, ``balanced``, ``greenest``.
+    Parameterized names carry their argument after a colon:
+    ``time_cap:<seconds>``, ``thread_cap:<cores>``,
+    ``efficiency_floor:<fraction>``, ``energy_cap:<joules>`` —
+    ``thread_cap`` (cap from the runtime context) and
+    ``efficiency_floor`` (0.8) may omit it.
+    """
+    base, _, arg = name.partition(":")
+    if base in _NAMED:
+        if arg:
+            raise KeyError(f"policy {base!r} takes no parameter, got {arg!r}")
+        return _NAMED[base]()
+    if base in _PARAMETERIZED:
+        cls, parse, required = _PARAMETERIZED[base]
+        if not arg:
+            if required:
+                raise KeyError(
+                    f"policy {base!r} needs a parameter, e.g. {base}:<value>"
+                )
+            return cls()
+        try:
+            value = parse(arg)
+        except ValueError:
+            raise KeyError(
+                f"invalid parameter {arg!r} for policy {base!r} "
+                f"(expected {parse.__name__})"
+            ) from None
+        return cls(value)
+    raise KeyError(f"unknown policy {name!r}; available: {_available()}")

@@ -91,6 +91,44 @@ class TestTune:
         with pytest.raises(SystemExit):
             run_cli("tune", "nonexistent")
 
+    def test_workers_and_engine_stats(self, tmp_path):
+        json_path = tmp_path / "out.json"
+        code, text = run_cli(
+            "tune", "mm",
+            "--size", "N=200",
+            "--workers", "2",
+            "--engine-stats",
+            "--json", str(json_path),
+        )
+        assert code == 0
+        assert "engine: workers=2" in text
+        engine = json.loads(json_path.read_text())["engine"]
+        assert engine["workers"] == 2
+        assert engine["configs"] == engine["dispatched"] + engine["cache_hits"] + engine["deduped"]
+
+    def test_workers_parallel_matches_serial(self, tmp_path):
+        fronts = {}
+        for workers in ("1", "4"):
+            json_path = tmp_path / f"w{workers}.json"
+            code, _ = run_cli(
+                "tune", "mm", "--size", "N=200", "--seed", "3",
+                "--workers", workers, "--json", str(json_path),
+            )
+            assert code == 0
+            fronts[workers] = json.loads(json_path.read_text())
+        assert fronts["1"]["front"] == fronts["4"]["front"]
+        assert fronts["1"]["evaluations"] == fronts["4"]["evaluations"]
+
+    def test_workers_auto_accepted(self):
+        code, _ = run_cli("tune", "mm", "--size", "N=200", "--workers", "auto")
+        assert code == 0
+
+    def test_bad_workers_value(self):
+        with pytest.raises(SystemExit):
+            run_cli("tune", "mm", "--workers", "some")
+        with pytest.raises(SystemExit):
+            run_cli("tune", "mm", "--workers", "0")
+
 
 class TestReport:
     def test_report_to_file(self, tmp_path, monkeypatch):

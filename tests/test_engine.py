@@ -1,0 +1,339 @@
+"""Tests for the parallel evaluation engine: dedup → dispatch → commit
+correctness under concurrency, fault tolerance (retry / timeout / serial
+degradation), ledger thread-safety, and the optimizer routing.
+
+All seeds are fixed so the concurrency assertions are deterministic: the
+simulated target derives measurement noise from (key, repetition) hashes,
+so any evaluation order — and any worker count — must produce bit-identical
+objectives and the exact same E.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.evaluation.parallel_eval import (
+    BatchEvaluator,
+    EngineStats,
+    EvaluationEngine,
+    EvaluationError,
+    FlakyFaultPolicy,
+    auto_workers,
+)
+from repro.evaluation.simulator import SimulatedTarget
+from repro.experiments import make_setup
+from repro.machine.model import WESTMERE
+from repro.optimizer import RSGDE3
+from repro.optimizer.rsgde3 import RSGDE3Settings
+from repro.optimizer.gde3 import GDE3Settings
+
+
+def fresh_target(mm_model, seed=0):
+    return SimulatedTarget(mm_model, seed=seed)
+
+
+def some_configs(n, duplicate_every=3):
+    """n configs with deliberate duplicates sprinkled in."""
+    configs = []
+    for i in range(n):
+        if duplicate_every and i % duplicate_every == 2:
+            configs.append(configs[i - 1])
+        else:
+            configs.append(({"i": 8 + 8 * i, "j": 64, "k": 8}, 10))
+    return configs
+
+
+class TestDedupPipeline:
+    def test_unique_configs_counted_once(self, mm_model):
+        target = fresh_target(mm_model)
+        engine = EvaluationEngine(target)
+        configs = some_configs(9, duplicate_every=3)
+        unique = len({target.config_key(t, thr) for t, thr in configs})
+        res = engine.evaluate_batch(configs)
+        assert len(res.objectives) == 9
+        assert res.new_evaluations == unique
+        assert target.evaluations == unique
+        assert res.stats.deduped == 9 - unique
+        assert res.stats.dispatched == unique
+
+    def test_cache_hits_do_not_dispatch(self, mm_model):
+        target = fresh_target(mm_model)
+        engine = EvaluationEngine(target)
+        configs = some_configs(6, duplicate_every=0)
+        engine.evaluate_batch(configs)
+        before = target.evaluations
+        res = engine.evaluate_batch(configs)
+        assert res.new_evaluations == 0
+        assert res.stats.cache_hits == 6
+        assert res.stats.dispatched == 0
+        assert target.evaluations == before
+
+    def test_duplicates_get_identical_objectives(self, mm_model):
+        target = fresh_target(mm_model)
+        engine = EvaluationEngine(target)
+        res = engine.evaluate_batch([({"i": 32, "j": 64, "k": 8}, 10)] * 4)
+        assert len({o.time for o in res.objectives}) == 1
+
+    def test_stats_accounting_invariant(self, mm_model):
+        target = fresh_target(mm_model)
+        engine = EvaluationEngine(target, max_workers=4)
+        for n in (5, 9, 17):
+            engine.evaluate_batch(some_configs(n))
+        s = engine.stats
+        assert s.configs == s.dispatched + s.cache_hits + s.deduped
+        assert s.new_evaluations == target.evaluations
+        assert s.batches == 3
+        assert s.wall_time_s > 0
+
+    def test_order_preserved(self, mm_model):
+        target = fresh_target(mm_model)
+        engine = EvaluationEngine(target, max_workers=4)
+        configs = [({"i": 32, "j": 64, "k": 8}, t) for t in (1, 10, 40, 10)]
+        res = engine.evaluate_batch(configs)
+        assert [o.threads for o in res.objectives] == [1, 10, 40, 10]
+
+
+class TestConcurrencyStress:
+    """16 workers, duplicate-laden batches: E exact, results bit-identical
+    to the serial path."""
+
+    WORKERS = 16
+
+    def _batches(self):
+        rng = np.random.default_rng(42)
+        batches = []
+        for _ in range(6):
+            n = int(rng.integers(8, 40))
+            tiles = rng.integers(1, 512, size=(n, 3))
+            threads = rng.choice([1, 5, 10, 20, 40], size=n)
+            configs = [
+                ({"i": int(a), "j": int(b), "k": int(c)}, int(t))
+                for (a, b, c), t in zip(tiles, threads)
+            ]
+            # deliberate duplicates, within and across batches
+            configs += configs[: n // 2]
+            batches.append(configs)
+        return batches
+
+    def test_parallel_bit_identical_to_serial(self, mm_model):
+        serial_target = fresh_target(mm_model, seed=11)
+        parallel_target = fresh_target(mm_model, seed=11)
+        serial = EvaluationEngine(serial_target, max_workers=1)
+        parallel = EvaluationEngine(parallel_target, max_workers=self.WORKERS)
+
+        for configs in self._batches():
+            rs = serial.evaluate_batch(configs)
+            rp = parallel.evaluate_batch(configs)
+            assert rs.new_evaluations == rp.new_evaluations
+            for a, b in zip(rs.objectives, rp.objectives):
+                assert a.time == b.time  # bit-identical, not approx
+                assert a.threads == b.threads
+        assert serial_target.evaluations == parallel_target.evaluations
+        assert parallel.stats.failed == 0
+
+    def test_exact_evaluation_count(self, mm_model):
+        target = fresh_target(mm_model, seed=5)
+        engine = EvaluationEngine(target, max_workers=self.WORKERS)
+        seen = set()
+        for configs in self._batches():
+            engine.evaluate_batch(configs)
+            seen.update(target.config_key(t, thr) for t, thr in configs)
+        assert target.evaluations == len(seen)
+
+    def test_target_ledger_thread_safe_for_external_callers(self, mm_model):
+        """The satellite bug: concurrent target.evaluate used to lose
+        ``evaluations += 1`` increments and double-count via the
+        check-then-set cache."""
+        target = fresh_target(mm_model, seed=3)
+        configs = [({"i": 16 * (i % 8 + 1), "j": 64, "k": 8}, 10) for i in range(64)]
+        unique = len({target.config_key(t, thr) for t, thr in configs})
+
+        barrier = threading.Barrier(16)
+
+        def worker(chunk):
+            barrier.wait()
+            for tiles, thr in chunk:
+                target.evaluate(tiles, thr)
+
+        threads = [
+            threading.Thread(target=worker, args=(configs[i::16],))
+            for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert target.evaluations == unique
+
+
+class TestFaultTolerance:
+    def test_transient_fault_is_retried(self, mm_model):
+        target = fresh_target(mm_model)
+        policy = FlakyFaultPolicy(fail_attempts=1)
+        engine = EvaluationEngine(
+            target, max_workers=4, retries=2, backoff_s=0.0, fault_policy=policy
+        )
+        res = engine.evaluate_batch(some_configs(6, duplicate_every=0))
+        assert res.new_evaluations == 6
+        assert engine.stats.retried >= 6
+        assert engine.stats.failed == 0
+        assert not engine.degraded
+
+    def test_retried_results_bit_identical(self, mm_model):
+        clean_target = fresh_target(mm_model, seed=2)
+        flaky_target = fresh_target(mm_model, seed=2)
+        clean = EvaluationEngine(clean_target)
+        flaky = EvaluationEngine(
+            flaky_target,
+            max_workers=4,
+            retries=3,
+            backoff_s=0.0,
+            fault_policy=FlakyFaultPolicy(fail_attempts=2),
+        )
+        configs = some_configs(8, duplicate_every=0)
+        a = clean.evaluate_batch(configs)
+        b = flaky.evaluate_batch(configs)
+        assert [o.time for o in a.objectives] == [o.time for o in b.objectives]
+        assert clean_target.evaluations == flaky_target.evaluations
+
+    def test_timeout_triggers_retry(self, mm_model):
+        target = fresh_target(mm_model)
+        policy = FlakyFaultPolicy(slow_attempts=1, delay_s=0.5)
+        engine = EvaluationEngine(
+            target,
+            max_workers=2,
+            timeout_s=0.05,
+            retries=2,
+            backoff_s=0.0,
+            fault_policy=policy,
+        )
+        res = engine.evaluate_batch(some_configs(2, duplicate_every=0))
+        assert res.new_evaluations == 2
+        assert engine.stats.timeouts >= 1
+
+    def test_persistent_pool_failure_rescued_serially(self, mm_model):
+        target = fresh_target(mm_model)
+        policy = FlakyFaultPolicy(fail_attempts=99)  # pool always fails
+        engine = EvaluationEngine(
+            target,
+            max_workers=4,
+            retries=1,
+            backoff_s=0.0,
+            degrade_after=2,
+            fault_policy=policy,
+        )
+        res = engine.evaluate_batch(some_configs(5, duplicate_every=0))
+        assert res.new_evaluations == 5  # serial rescue computed them all
+        assert engine.stats.failed == 5
+        assert not engine.degraded  # one strike so far
+
+    def test_degrades_to_serial_after_repeated_failure(self, mm_model):
+        target = fresh_target(mm_model)
+        policy = FlakyFaultPolicy(fail_attempts=99)
+        engine = EvaluationEngine(
+            target,
+            max_workers=4,
+            retries=1,
+            backoff_s=0.0,
+            degrade_after=2,
+            fault_policy=policy,
+        )
+        engine.evaluate_batch(some_configs(4, duplicate_every=0))
+        engine.evaluate_batch(some_configs(8, duplicate_every=0)[4:])
+        assert engine.degraded
+        # degraded batches run serially (fault policy spares serial mode)
+        res = engine.evaluate_batch([({"i": 100, "j": 100, "k": 100}, 20)])
+        assert res.stats.serial_fallbacks == 1
+        assert res.new_evaluations == 1
+        engine.reset_faults()
+        assert not engine.degraded
+
+    def test_terminal_failure_raises(self, mm_model):
+        target = fresh_target(mm_model)
+        policy = FlakyFaultPolicy(fail_attempts=99, fail_serial=True)
+        engine = EvaluationEngine(
+            target, max_workers=2, retries=1, backoff_s=0.0, fault_policy=policy
+        )
+        with pytest.raises(EvaluationError):
+            engine.evaluate_batch(some_configs(3, duplicate_every=0))
+
+    def test_serial_engine_with_fault_policy(self, mm_model):
+        """workers=1 engines run the same retry machinery inline."""
+        target = fresh_target(mm_model)
+        policy = FlakyFaultPolicy(fail_attempts=99)  # serial attempts pass
+        engine = EvaluationEngine(target, max_workers=1, fault_policy=policy)
+        res = engine.evaluate_batch(some_configs(3, duplicate_every=0))
+        assert res.new_evaluations == 3
+
+
+class TestEngineConfig:
+    def test_auto_workers(self, mm_model):
+        assert auto_workers() >= 1
+        engine = EvaluationEngine(fresh_target(mm_model), max_workers="auto")
+        assert engine.max_workers == auto_workers()
+
+    def test_invalid_workers_rejected(self, mm_model):
+        with pytest.raises(ValueError):
+            EvaluationEngine(fresh_target(mm_model), max_workers=0)
+
+    def test_batch_evaluator_alias(self, mm_model):
+        assert BatchEvaluator is EvaluationEngine
+
+    def test_stats_merge(self):
+        a = EngineStats(batches=1, configs=3, dispatched=2, cache_hits=1)
+        b = EngineStats(batches=2, configs=4, deduped=1, wall_time_s=0.5)
+        a.merge(b)
+        assert (a.batches, a.configs, a.dispatched, a.deduped) == (3, 7, 2, 1)
+        assert "configs=7" in a.summary()
+        assert a.as_dict()["cache_hits"] == 1
+
+
+class TestOptimizerRouting:
+    """The optimizers all evaluate through the engine now."""
+
+    def test_problem_builds_serial_engine_lazily(self):
+        injected = make_setup("mm", WESTMERE).problem(seed=0)
+        assert injected.evaluation_engine.target is injected.target
+        bare = type(injected).from_skeleton(injected.skeleton, injected.target)
+        assert bare.engine is None
+        assert bare.evaluation_engine.max_workers == 1
+        assert bare.engine is bare.evaluation_engine  # cached after first use
+
+    def test_problem_rejects_foreign_engine(self, mm_model):
+        setup = make_setup("mm", WESTMERE)
+        problem = setup.problem(seed=0)
+        other = EvaluationEngine(fresh_target(mm_model))
+        with pytest.raises(ValueError):
+            type(problem).from_skeleton(
+                problem.skeleton, problem.target, engine=other
+            )
+
+    def test_evaluate_batch_records_stats(self):
+        problem = make_setup("mm", WESTMERE).problem(seed=0, workers=4)
+        rng = np.random.default_rng(0)
+        vectors = problem.space.full_boundary().sample(rng, 12)
+        configs = problem.evaluate_batch(vectors)
+        assert len(configs) == 12
+        assert problem.evaluation_engine.stats.configs == 12
+
+    @pytest.mark.parametrize("kernel", ["mm", "dsyrk", "jacobi2d", "stencil3d", "nbody"])
+    def test_rsgde3_parity_serial_vs_8_workers(self, kernel):
+        """Acceptance: workers=8 must produce a bit-identical Pareto front
+        and the exact same E as workers=1, on every kernel."""
+        settings = RSGDE3Settings(
+            gde3=GDE3Settings(population_size=12), max_generations=8
+        )
+        results = {}
+        for workers in (1, 8):
+            problem = make_setup(kernel, WESTMERE).problem(seed=17, workers=workers)
+            results[workers] = (RSGDE3(problem, settings).run(seed=4), problem)
+        r1, p1 = results[1]
+        r8, p8 = results[8]
+        assert r1.evaluations == r8.evaluations
+        assert p1.target.evaluations == p8.target.evaluations
+        assert [c.values for c in r1.front] == [c.values for c in r8.front]
+        assert [c.objectives for c in r1.front] == [c.objectives for c in r8.front]
+        assert r1.hv_history == r8.hv_history

@@ -162,6 +162,32 @@ class TestHypervolume:
         pts = np.array([[2.0, 2.0]])
         assert hypervolume(pts, np.array([1, 1])) == 0.0
 
+    def test_point_beyond_ref_in_one_coordinate_is_clipped_not_dropped(self):
+        # (0.25, 2.0) escapes ref in y only; clipped to (0.25, 1.0) it
+        # contributes zero volume but must not be discarded outright — a
+        # front made solely of such points still scores 0, and mixed fronts
+        # keep the in-box contributions exact.
+        escaped = np.array([[0.25, 2.0]])
+        assert hypervolume(escaped, np.array([1, 1])) == 0.0
+        mixed = np.array([[0.25, 2.0], [0.5, 0.5]])
+        assert hypervolume(mixed, np.array([1, 1])) == pytest.approx(0.25)
+
+    def test_clipping_equals_dropping(self):
+        # clip-at-ref and drop-if-beyond are mathematically identical: the
+        # dominated box of a clipped point has a zero-length side.
+        rng = np.random.default_rng(7)
+        ref = np.array([1.0, 1.0])
+        for _ in range(20):
+            pts = rng.uniform(0.0, 1.6, size=(6, 2))
+            inside = pts[(pts < ref).all(axis=1)]
+            assert hypervolume(pts, ref) == pytest.approx(
+                hypervolume(inside, ref) if len(inside) else 0.0
+            )
+
+    def test_clipped_3d(self):
+        pts = np.array([[0.5, 0.5, 2.0], [0.5, 0.5, 0.5]])
+        assert hypervolume(pts, np.array([1, 1, 1])) == pytest.approx(0.125)
+
     def test_empty(self):
         assert hypervolume(np.zeros((0, 2)), np.array([1, 1])) == 0.0
 

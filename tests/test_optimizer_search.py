@@ -320,6 +320,37 @@ class TestRSGDE3:
         res = RSGDE3(p).run(seed=4)
         assert res.evaluations < 3000
 
+    def test_front_hv_with_escaped_envelope(self):
+        """Regression for the fixed-ref early-stopping interaction: the
+        driver pins ``ref`` from the initial population, so later fronts can
+        escape that envelope in one objective.  Such points must be clipped
+        (contributing their in-box share: zero for the escaped coordinate),
+        never make the hypervolume NaN/negative, and must not mask the gain
+        of points that *did* improve inside the box."""
+        ref = np.array([1.0, 1.0])
+
+        def pop(objs):
+            return [Configuration.make({"x": i}, o) for i, o in enumerate(objs)]
+
+        hv0 = RSGDE3._front_hv(pop([(0.6, 0.6)]), ref)
+        # next generation: one point escapes ref in objective 2 while a
+        # second improves strictly inside the initial envelope
+        hv1 = RSGDE3._front_hv(pop([(0.2, 1.8), (0.4, 0.4)]), ref)
+        assert hv1 > hv0  # improvement registers; patience is not tripped
+        # a fully escaped front degrades to zero, not to an error
+        hv2 = RSGDE3._front_hv(pop([(0.2, 1.8), (1.5, 0.3)]), ref)
+        assert hv2 == 0.0
+
+    def test_escaped_envelope_run_converges(self):
+        """End-to-end: a tiny-noise problem whose GDE3 offspring routinely
+        leave the initial objective envelope still terminates by patience
+        with a finite hv_history (no NaN from the fixed-ref normalization)."""
+        p = make_problem(seed=21)
+        res = RSGDE3(p, RSGDE3Settings(max_generations=30)).run(seed=5)
+        hvs = [hv for _, hv in res.hv_history]
+        assert all(np.isfinite(hv) and hv >= 0.0 for hv in hvs)
+        assert res.size >= 1 and res.generations <= 30
+
 
 class TestBaselines:
     def test_grid_candidates(self):

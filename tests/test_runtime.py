@@ -132,6 +132,43 @@ class TestPolicies:
         with pytest.raises(KeyError):
             policy_by_name("nope")
 
+    def test_policy_by_name_parameterized(self, table):
+        p = policy_by_name("time_cap:0.2")
+        assert isinstance(p, TimeCapPolicy) and p.cap == 0.2
+        assert p.select(table).meta.index == 2
+
+        p = policy_by_name("thread_cap:8")
+        assert isinstance(p, ThreadCapPolicy) and p.cap == 8
+
+        p = policy_by_name("efficiency_floor:0.7")
+        assert isinstance(p, EfficiencyFloorPolicy) and p.floor == 0.7
+
+        from repro.runtime import EnergyCapPolicy
+
+        p = policy_by_name("energy_cap:100")
+        assert isinstance(p, EnergyCapPolicy) and p.cap == 100.0
+
+    def test_policy_by_name_optional_parameters(self):
+        # thread_cap / efficiency_floor have context/default fallbacks
+        assert policy_by_name("thread_cap").cap is None
+        assert policy_by_name("efficiency_floor").floor == 0.8
+
+    def test_policy_by_name_errors(self):
+        with pytest.raises(KeyError, match="needs a parameter"):
+            policy_by_name("time_cap")
+        with pytest.raises(KeyError, match="needs a parameter"):
+            policy_by_name("energy_cap")
+        with pytest.raises(KeyError, match="invalid parameter"):
+            policy_by_name("thread_cap:many")
+        with pytest.raises(KeyError, match="takes no parameter"):
+            policy_by_name("fastest:3")
+        with pytest.raises(KeyError, match="available"):
+            policy_by_name("deadline:1.0")
+
+    def test_weighted_sum_empty_table_clear_error(self):
+        with pytest.raises(ValueError, match="empty version table"):
+            WeightedSumPolicy().select([])
+
     def test_describe(self, table):
         assert "0.5" in WeightedSumPolicy().describe()
         assert "time_cap" in TimeCapPolicy(0.1).describe()
