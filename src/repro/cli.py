@@ -6,24 +6,31 @@
     python -m repro machines
     python -m repro tune mm --machine westmere --emit-c mm_tuned.c
     python -m repro tune mm --size N=700 --energy --optimizer rsgde3 --json out.json
+    python -m repro tune mm --trace out.jsonl --metrics
     python -m repro tune-file kernel.c --size N=1400 --machine barcelona
+    python -m repro trace out.jsonl
 
 The ``tune`` commands run the full pipeline (analysis → RS-GDE3 →
 multi-versioning) against a simulated target machine and print the Pareto
 summary; ``--emit-c`` additionally writes the multi-versioned C translation
-unit and ``--json`` the machine-readable result.
+unit and ``--json`` the machine-readable result.  ``--trace FILE`` records
+an end-to-end JSONL trace (driver phases, optimizer generations, engine
+batches, runtime selections) and ``--metrics`` prints the run's metrics in
+Prometheus text format; ``repro trace FILE`` summarizes a recorded trace.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
 from repro.driver.compiler import TuningDriver
 from repro.frontend.kernels import ALL_KERNELS, get_kernel
 from repro.machine.model import BARCELONA, WESTMERE, machine_by_name
+from repro.obs import Observability, TraceError, trace_summary_for_path
 from repro.util.tables import Table
 
 __all__ = ["main", "build_parser"]
@@ -39,6 +46,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("kernels", help="list the registered benchmark kernels")
     sub.add_parser("machines", help="list the simulated target machines")
 
+    def add_obs_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace",
+            metavar="FILE",
+            help="record an end-to-end JSONL trace here (summarize it "
+            "later with 'repro trace FILE')",
+        )
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print the run's metrics (Prometheus text format) at the end",
+        )
+
     report = sub.add_parser(
         "report", help="run the fast reproduction subset, write markdown"
     )
@@ -51,8 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="evaluation-engine workers (integer or 'auto' = 3/4 of cores)",
     )
+    add_obs_options(report)
+
+    trace = sub.add_parser(
+        "trace", help="summarize a JSONL trace recorded with --trace"
+    )
+    trace.add_argument("path", help="trace file written by --trace")
 
     def add_tune_options(p: argparse.ArgumentParser) -> None:
+        add_obs_options(p)
         p.add_argument("--machine", default="westmere", help="westmere | barcelona")
         p.add_argument(
             "--size",
@@ -112,6 +139,41 @@ def _parse_workers(value: str) -> int | str:
     return workers
 
 
+def _build_obs(args) -> Observability | None:
+    """One observability handle per invocation: a collecting tracer when
+    ``--trace`` was given, metrics-only for a bare ``--metrics``, and None
+    (fully disabled) otherwise."""
+    if getattr(args, "trace", None):
+        obs = Observability.tracing()
+    elif getattr(args, "metrics", False):
+        obs = Observability.disabled()
+    else:
+        return None
+    if args.trace:
+        # fail before the (long) run, not after it — a clear error beats a
+        # stack trace once the tuning time is already spent
+        try:
+            with open(args.trace, "w"):
+                pass
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace file {args.trace}: {exc}") from None
+    return obs
+
+
+def _finish_obs(args, obs: Observability | None, meta: dict, out) -> None:
+    """Write the trace file and/or print metrics after a traced run."""
+    if obs is None:
+        return
+    if getattr(args, "trace", None):
+        try:
+            n = obs.tracer.write_jsonl(args.trace, meta=meta)
+        except TraceError as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"wrote {args.trace} ({n} trace records)", file=out)
+    if getattr(args, "metrics", False):
+        print(obs.metrics.exposition(), file=out, end="")
+
+
 def _parse_sizes(entries: list[str]) -> dict[str, int]:
     sizes = {}
     for entry in entries:
@@ -160,8 +222,12 @@ def _cmd_machines(out) -> int:
 
 def _cmd_tune(args, out) -> int:
     machine = machine_by_name(args.machine)
+    obs = _build_obs(args)
     driver = TuningDriver(
-        machine=machine, seed=args.seed, workers=_parse_workers(args.workers)
+        machine=machine,
+        seed=args.seed,
+        workers=_parse_workers(args.workers),
+        obs=obs,
     )
     sizes = _parse_sizes(args.size)
 
@@ -180,6 +246,11 @@ def _cmd_tune(args, out) -> int:
         tuned = driver.tune_source(
             source, sizes=sizes, optimizer=args.optimizer, run_seed=args.seed
         )
+
+    if obs is not None and obs.enabled:
+        # exercise the runtime layer so the trace is end to end: one
+        # selection decision per core policy against the tuned table
+        tuned.preview_selections()
 
     print(tuned.summary(), file=out)
 
@@ -219,34 +290,73 @@ def _cmd_tune(args, out) -> int:
             }
         Path(args.json).write_text(json.dumps(payload, indent=1))
         print(f"wrote {args.json}", file=out)
+
+    _finish_obs(
+        args,
+        obs,
+        meta={
+            "command": args.command,
+            "kernel": tuned.name,
+            "machine": machine.name,
+            "optimizer": args.optimizer,
+            "seed": args.seed,
+            "workers": str(args.workers),
+        },
+        out=out,
+    )
     return 0
 
 
 def _cmd_report(args, out) -> int:
     from repro.report import generate_report
 
+    obs = _build_obs(args)
     text = generate_report(
         repetitions=args.repetitions,
         seed=args.seed,
         workers=_parse_workers(args.workers),
+        obs=obs,
     )
     if args.out:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}", file=out)
     else:
         print(text, file=out)
+    _finish_obs(
+        args,
+        obs,
+        meta={"command": "report", "seed": args.seed, "workers": str(args.workers)},
+        out=out,
+    )
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    try:
+        print(trace_summary_for_path(args.path), file=out)
+    except TraceError as exc:
+        raise SystemExit(str(exc)) from None
     return 0
 
 
 def main(argv: list[str] | None = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "kernels":
-        return _cmd_kernels(out)
-    if args.command == "machines":
-        return _cmd_machines(out)
-    if args.command == "report":
-        return _cmd_report(args, out)
-    return _cmd_tune(args, out)
+    try:
+        if args.command == "kernels":
+            return _cmd_kernels(out)
+        if args.command == "machines":
+            return _cmd_machines(out)
+        if args.command == "report":
+            return _cmd_report(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
+        return _cmd_tune(args, out)
+    except BrokenPipeError:
+        # downstream closed early (| head, | less q) — not an error; point
+        # stdout at devnull so the interpreter's exit flush stays quiet
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

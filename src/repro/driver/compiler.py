@@ -33,6 +33,7 @@ from repro.frontend.kernels import Kernel, get_kernel
 from repro.frontend.parser import parse_function
 from repro.ir.nodes import Function
 from repro.machine.model import MachineModel, WESTMERE
+from repro.obs import DISABLED, Observability
 from repro.optimizer.nsga2 import NSGA2
 from repro.optimizer.problem import TuningProblem
 from repro.optimizer.random_search import random_search
@@ -65,6 +66,7 @@ class TunedKernel:
     sequential_time: float
     baseline_time: float
     engine: EvaluationEngine | None = None
+    obs: Observability | None = None
 
     @property
     def name(self) -> str:
@@ -123,6 +125,29 @@ class TunedKernel:
         """The multi-versioned C translation unit (paper Fig. 6)."""
         return build_multiversion_c(self.name, self._variants())
 
+    def preview_selections(
+        self, policies: tuple[str, ...] = ("fastest", "efficient", "balanced")
+    ) -> dict[str, int]:
+        """Query each named selection policy once against the tuned
+        version table, emitting one ``runtime.selection`` decision event
+        per policy — the runtime half of an end-to-end trace without
+        executing the region.
+
+        :returns: policy name → chosen version index.
+        """
+        from repro.runtime.scheduler import RegionExecutor
+        from repro.runtime.selection import policy_by_name
+
+        obs = self.obs or DISABLED
+        with obs.tracer.span("runtime.preview", region=self.name):
+            table = self.build_version_table(executable=False)
+            executor = RegionExecutor(table, obs=self.obs)
+            chosen = {}
+            for name in policies:
+                executor.set_policy(policy_by_name(name))
+                chosen[name] = executor.select().meta.index
+        return chosen
+
     def summary(self) -> str:
         t = Table(
             ["version", "threads", "tiles", "time [s]", "cpu-s", "speedup", "efficiency"],
@@ -159,6 +184,9 @@ class TuningDriver:
         ``"auto"``, three quarters of the visible cores) evaluates each
         generation's configurations in parallel; results and the E metric
         are bit-identical to the serial default.
+    :param obs: observability handle — compiler phases become spans and
+        the optimizer/engine telemetry flows into its tracer and metrics;
+        None (the default) disables tracing at zero cost.
     """
 
     machine: MachineModel = field(default_factory=lambda: WESTMERE)
@@ -166,6 +194,7 @@ class TuningDriver:
     noise: float = 0.015
     settings: RSGDE3Settings = field(default_factory=RSGDE3Settings)
     workers: int | str = 1
+    obs: Observability | None = None
 
     # ------------------------------------------------------------------
 
@@ -250,9 +279,9 @@ class TuningDriver:
         target = SimulatedTarget(
             model, seed=self.seed, noise=self.noise, measure_energy=with_energy
         )
-        engine = EvaluationEngine(target, max_workers=self.workers)
+        engine = EvaluationEngine(target, max_workers=self.workers, obs=self.obs)
         problem = TuningProblem.from_skeleton(
-            skeleton, target, tri_objective=with_energy, engine=engine
+            skeleton, target, tri_objective=with_energy, engine=engine, obs=self.obs
         )
         return problem, region, skeleton
 
@@ -266,37 +295,43 @@ class TuningDriver:
         flops_per_iteration: float | None = None,
         with_energy: bool = False,
     ) -> TunedKernel:
-        problem, region, skeleton = self.make_problem(
-            fn,
-            sizes,
-            kernel=kernel,
-            flops_per_iteration=flops_per_iteration,
-            with_energy=with_energy,
-        )
-        if optimizer == "rsgde3":
-            result = RSGDE3(problem, self.settings).run(seed=run_seed)
-        elif optimizer == "nsga2":
-            result = NSGA2(problem).run(seed=run_seed)
-        elif optimizer == "random":
-            budget = self.settings.gde3.population_size * 25
-            result = random_search(problem, budget=budget, seed=run_seed)
-        else:
-            raise KeyError(
-                f"unknown optimizer {optimizer!r} (rsgde3 | nsga2 | random)"
+        obs = self.obs or DISABLED
+        with obs.tracer.span("driver.analyze", kernel=fn.name):
+            problem, region, skeleton = self.make_problem(
+                fn,
+                sizes,
+                kernel=kernel,
+                flops_per_iteration=flops_per_iteration,
+                with_energy=with_energy,
             )
+        with obs.tracer.span(
+            "driver.optimize", kernel=fn.name, optimizer=optimizer
+        ):
+            if optimizer == "rsgde3":
+                result = RSGDE3(problem, self.settings).run(seed=run_seed)
+            elif optimizer == "nsga2":
+                result = NSGA2(problem).run(seed=run_seed)
+            elif optimizer == "random":
+                budget = self.settings.gde3.population_size * 25
+                result = random_search(problem, budget=budget, seed=run_seed)
+            else:
+                raise KeyError(
+                    f"unknown optimizer {optimizer!r} (rsgde3 | nsga2 | random)"
+                )
 
-        target = problem.target
-        seq_candidates = [
-            c for c in result.front if c.as_dict().get("threads", 1) == 1
-        ]
-        if seq_candidates:
-            t_seq = min(c.time for c in seq_candidates)
-        else:
-            # fall back: fastest front tiles at one thread
-            best = min(result.front, key=lambda c: c.time)
-            tiles, _ = problem.split_values(best.as_dict())
-            t_seq = target.true_time(tiles, 1)
-        baseline = target.model.baseline_time()
+        with obs.tracer.span("driver.finalize", kernel=fn.name):
+            target = problem.target
+            seq_candidates = [
+                c for c in result.front if c.as_dict().get("threads", 1) == 1
+            ]
+            if seq_candidates:
+                t_seq = min(c.time for c in seq_candidates)
+            else:
+                # fall back: fastest front tiles at one thread
+                best = min(result.front, key=lambda c: c.time)
+                tiles, _ = problem.split_values(best.as_dict())
+                t_seq = target.true_time(tiles, 1)
+            baseline = target.model.baseline_time()
 
         return TunedKernel(
             kernel=kernel,
@@ -310,4 +345,5 @@ class TuningDriver:
             sequential_time=t_seq,
             baseline_time=baseline,
             engine=problem.engine,
+            obs=self.obs,
         )

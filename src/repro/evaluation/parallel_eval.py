@@ -44,6 +44,7 @@ from dataclasses import dataclass, field, fields
 from repro.evaluation.measurements import Measurement
 from repro.evaluation.objectives import Objectives
 from repro.evaluation.simulator import SimulatedTarget
+from repro.obs import DISABLED, Observability
 
 __all__ = [
     "EvaluationEngine",
@@ -190,6 +191,9 @@ class EvaluationEngine:
     :param degrade_after: after this many consecutive batches needing the
         serial rescue, the engine stops using the pool entirely.
     :param fault_policy: test hook, see :class:`FaultPolicy`.
+    :param obs: observability handle — every batch becomes an
+        ``engine.batch`` span and the accounting is folded into metric
+        counters/histograms; the default disabled handle is free.
     """
 
     def __init__(
@@ -201,6 +205,7 @@ class EvaluationEngine:
         backoff_s: float = 0.02,
         degrade_after: int = 2,
         fault_policy: FaultPolicy | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if max_workers == "auto" or max_workers is None:
             max_workers = auto_workers()
@@ -213,6 +218,7 @@ class EvaluationEngine:
         self.backoff_s = float(backoff_s)
         self.degrade_after = int(degrade_after)
         self.fault_policy = fault_policy
+        self.obs = obs or DISABLED
         #: cumulative accounting across all batches
         self.stats = EngineStats()
         self._degraded = False
@@ -244,42 +250,85 @@ class EvaluationEngine:
         t0 = time.perf_counter()
         batch = EngineStats(batches=1, configs=len(configs))
 
-        keys = [self.target.config_key(tiles, thr) for tiles, thr in configs]
-        pending: dict[tuple, None] = {}
-        for key in keys:
-            if key in pending:
-                batch.deduped += 1
-            elif self.target.lookup(key) is not None:
-                batch.cache_hits += 1
-            else:
-                pending[key] = None
-        order = list(pending)
-        batch.dispatched = len(order)
+        with self.obs.tracer.span(
+            "engine.batch", configs=len(configs), workers=self.max_workers
+        ) as span:
+            keys = [self.target.config_key(tiles, thr) for tiles, thr in configs]
+            pending: dict[tuple, None] = {}
+            for key in keys:
+                if key in pending:
+                    batch.deduped += 1
+                elif self.target.lookup(key) is not None:
+                    batch.cache_hits += 1
+                else:
+                    pending[key] = None
+            order = list(pending)
+            batch.dispatched = len(order)
 
-        results: dict[tuple, tuple[Objectives, Measurement]] = {}
-        serial = self.max_workers == 1 or self._degraded or len(order) <= 1
-        if order:
-            if serial:
-                if self._degraded:
-                    batch.serial_fallbacks += 1
-                self._compute_serial(order, results, batch)
-            else:
-                self._compute_parallel(order, results, batch)
+            results: dict[tuple, tuple[Objectives, Measurement]] = {}
+            serial = self.max_workers == 1 or self._degraded or len(order) <= 1
+            if order:
+                if serial:
+                    if self._degraded:
+                        batch.serial_fallbacks += 1
+                    self._compute_serial(order, results, batch)
+                else:
+                    self._compute_parallel(order, results, batch)
 
-        # single-writer commit, in batch order — the only ledger mutation
-        for key in order:
-            obj, measurement = results[key]
-            if self.target.commit(key, obj, measurement):
-                batch.new_evaluations += 1
+            # single-writer commit, in batch order — the only ledger mutation
+            for key in order:
+                obj, measurement = results[key]
+                if self.target.commit(key, obj, measurement):
+                    batch.new_evaluations += 1
 
-        objectives = tuple(self.target.lookup(key) for key in keys)
-        batch.wall_time_s = time.perf_counter() - t0
+            objectives = tuple(self.target.lookup(key) for key in keys)
+            batch.wall_time_s = time.perf_counter() - t0
+            span.set(**batch.as_dict())
+
+        self._observe_batch(batch)
         self.stats.merge(batch)
         return BatchResult(
             objectives=objectives,
             new_evaluations=batch.new_evaluations,
             stats=batch,
         )
+
+    def _observe_batch(self, batch: EngineStats) -> None:
+        """Fold one batch's accounting into the metrics registry."""
+        m = self.obs.metrics
+        m.counter(
+            "repro_engine_batches_total", "evaluation batches processed"
+        ).inc()
+        m.counter(
+            "repro_engine_configs_total", "configurations submitted"
+        ).inc(batch.configs)
+        m.counter(
+            "repro_engine_dispatched_total", "unique configurations computed"
+        ).inc(batch.dispatched)
+        m.counter(
+            "repro_engine_cache_hits_total", "configurations served from the memo cache"
+        ).inc(batch.cache_hits)
+        m.counter(
+            "repro_engine_deduped_total", "in-batch duplicate configurations"
+        ).inc(batch.deduped)
+        m.counter(
+            "repro_engine_retries_total", "retry attempts after pooled failures"
+        ).inc(batch.retried)
+        m.counter(
+            "repro_engine_timeouts_total", "pooled attempts abandoned on timeout"
+        ).inc(batch.timeouts)
+        m.counter(
+            "repro_engine_failed_total", "configurations rescued serially"
+        ).inc(batch.failed)
+        m.counter(
+            "repro_engine_serial_fallbacks_total", "batches run serially after degradation"
+        ).inc(batch.serial_fallbacks)
+        m.gauge(
+            "repro_engine_degraded", "1 while the engine is in permanent serial mode"
+        ).set(int(self._degraded))
+        m.histogram(
+            "repro_engine_batch_seconds", "wall time per evaluation batch"
+        ).observe(batch.wall_time_s)
 
     # -- serial path -------------------------------------------------------
 
@@ -328,8 +377,13 @@ class EvaluationEngine:
         if remaining:
             batch.failed += len(remaining)
             self._strikes += 1
-            if self._strikes >= self.degrade_after:
+            if self._strikes >= self.degrade_after and not self._degraded:
                 self._degraded = True
+                self.obs.tracer.event(
+                    "engine.degraded",
+                    strikes=self._strikes,
+                    failed_configs=len(remaining),
+                )
             for key in remaining:
                 results[key] = self._rescue(key, batch, first_attempt=attempt)
         else:

@@ -94,12 +94,14 @@ class ExperimentSetup:
         seed: int | None = None,
         thread_choices: tuple[int, ...] = (),
         workers: int | str = 1,
+        obs=None,
     ) -> TuningProblem:
         target = self.target(seed)
         return TuningProblem.from_skeleton(
             self.skeleton(thread_choices),
             target,
-            engine=EvaluationEngine(target, max_workers=workers),
+            engine=EvaluationEngine(target, max_workers=workers, obs=obs),
+            obs=obs,
         )
 
     def tile_grid(self) -> dict[str, list[int]]:

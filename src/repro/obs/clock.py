@@ -1,0 +1,71 @@
+"""Injectable clocks.
+
+Everything in the observability layer that reads time — span durations,
+event timestamps, the runtime monitor's execution records — goes through a
+:class:`Clock` so tests can substitute a :class:`FakeClock` and assert on
+exact timestamps.  Two time bases are exposed: ``now()`` is wall-clock
+(epoch seconds, for human-readable records) and ``perf()`` is monotonic
+high-resolution (for durations).  The fake clock drives both from one
+counter, which keeps traces written under it fully deterministic.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "SystemClock", "FakeClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The time source protocol shared by the tracer and the runtime."""
+
+    def now(self) -> float:
+        """Wall-clock time in epoch seconds."""
+        ...  # pragma: no cover - protocol
+
+    def perf(self) -> float:
+        """Monotonic high-resolution time in seconds."""
+        ...  # pragma: no cover - protocol
+
+
+class SystemClock:
+    """The real time source (``time.time`` / ``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return _time.time()
+
+    def perf(self) -> float:
+        return _time.perf_counter()
+
+
+@dataclass
+class FakeClock:
+    """A manually advanced clock for deterministic tests.
+
+    :param t: current time, returned by both ``now`` and ``perf``.
+    :param tick: automatic advance applied *after* every read, so
+        consecutive reads are strictly increasing without explicit
+        :meth:`advance` calls (0 disables).
+    """
+
+    t: float = 0.0
+    tick: float = 0.0
+
+    def now(self) -> float:
+        return self._read()
+
+    def perf(self) -> float:
+        return self._read()
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self.t += dt
+
+    def _read(self) -> float:
+        value = self.t
+        self.t += self.tick
+        return value

@@ -13,6 +13,7 @@ import itertools
 
 import numpy as np
 
+from repro.obs import DISABLED, ConvergenceRecord, emit_generation
 from repro.optimizer.config import Configuration
 from repro.optimizer.pareto import non_dominated_mask
 from repro.optimizer.problem import TuningProblem
@@ -107,15 +108,34 @@ def brute_force_search(
         if "threads" in names:
             vectors[block, names.index("threads")] = thr
 
-    configs = problem.evaluate_batch(vectors)
-    objs = np.array([c.objectives for c in configs])
-    mask = non_dominated_mask(objs)
-    front = _dedupe([c for c, keep in zip(configs, mask) if keep])
+    obs = getattr(problem, "observability", None) or DISABLED
+    with obs.tracer.span(
+        "optimizer.run", algorithm="brute-force", grid_points=len(vectors)
+    ) as span:
+        configs = problem.evaluate_batch(vectors)
+        objs = np.array([c.objectives for c in configs])
+        mask = non_dominated_mask(objs)
+        front = _dedupe([c for c, keep in zip(configs, mask) if keep])
+        span.set(
+            evaluations=problem.evaluations - evals_before, front_size=len(front)
+        )
+
+    from repro.optimizer.hypervolume import hypervolume
+
+    record = ConvergenceRecord(
+        generation=0,
+        evaluations=problem.evaluations - evals_before,
+        front_size=len(front),
+        hypervolume=hypervolume(objs[mask], objs.max(axis=0) * 1.1),
+        accepted=problem.evaluations - evals_before,
+    )
+    emit_generation(obs, "brute-force", record)
 
     result = OptimizerResult(
         front=tuple(front),
         evaluations=problem.evaluations - evals_before,
         generations=0,
+        convergence=(record,),
     )
     data = None
     if keep_data:

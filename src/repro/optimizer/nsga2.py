@@ -14,7 +14,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import DISABLED, ConvergenceRecord, emit_generation, population_delta
 from repro.optimizer.config import Configuration
+from repro.optimizer.hypervolume import hypervolume
 from repro.optimizer.pareto import crowding_distance, non_dominated, non_dominated_sort
 from repro.optimizer.problem import TuningProblem
 from repro.optimizer.rsgde3 import OptimizerResult, _dedupe
@@ -38,23 +40,61 @@ class NSGA2:
     settings: NSGA2Settings = field(default_factory=NSGA2Settings)
 
     def run(self, seed: int = 0) -> OptimizerResult:
+        obs = getattr(self.problem, "observability", None) or DISABLED
         rng = derive_rng(seed, "nsga2")
         space = self.problem.space
         full = space.full_boundary()
         np_size = self.settings.population_size
         evals_before = self.problem.evaluations
 
-        pop = self.problem.evaluate_batch(full.sample(rng, np_size))
-        for _ in range(self.settings.generations):
-            offspring_vecs = self._make_offspring(pop, rng)
-            offspring = self.problem.evaluate_batch(offspring_vecs)
-            pop = self._environmental_selection(pop + offspring, np_size)
+        with obs.tracer.span("optimizer.run", algorithm="nsga2", seed=seed) as span:
+            pop = self.problem.evaluate_batch(full.sample(rng, np_size))
+            # fixed hypervolume reference from the initial population, the
+            # same normalization rule RS-GDE3 uses
+            ref = np.array([c.objectives for c in pop]).max(axis=0) * 1.1
+            convergence = [self._record(0, pop, ref, evals_before, len(pop), 0)]
+            emit_generation(obs, "nsga2", convergence[0])
+            for gen in range(1, self.settings.generations + 1):
+                offspring_vecs = self._make_offspring(pop, rng)
+                offspring = self.problem.evaluate_batch(offspring_vecs)
+                previous = pop
+                pop = self._environmental_selection(pop + offspring, np_size)
+                accepted, dominated = population_delta(previous, pop)
+                convergence.append(
+                    self._record(gen, pop, ref, evals_before, accepted, dominated)
+                )
+                emit_generation(obs, "nsga2", convergence[-1])
 
-        front = _dedupe(non_dominated(pop, key=lambda c: c.objectives))
+            front = _dedupe(non_dominated(pop, key=lambda c: c.objectives))
+            span.set(
+                generations=self.settings.generations,
+                evaluations=self.problem.evaluations - evals_before,
+                front_size=len(front),
+            )
         return OptimizerResult(
             front=tuple(front),
             evaluations=self.problem.evaluations - evals_before,
             generations=self.settings.generations,
+            convergence=tuple(convergence),
+        )
+
+    def _record(
+        self,
+        generation: int,
+        pop: list[Configuration],
+        ref: np.ndarray,
+        evals_before: int,
+        accepted: int,
+        dominated: int,
+    ) -> ConvergenceRecord:
+        objs = np.array([c.objectives for c in pop])
+        return ConvergenceRecord(
+            generation=generation,
+            evaluations=self.problem.evaluations - evals_before,
+            front_size=len(non_dominated(pop, key=lambda c: c.objectives)),
+            hypervolume=hypervolume(objs, ref),
+            accepted=accepted,
+            dominated=dominated,
         )
 
     # ------------------------------------------------------------------

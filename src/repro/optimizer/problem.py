@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.evaluation.parallel_eval import EvaluationEngine
 from repro.evaluation.simulator import SimulatedTarget
+from repro.obs import DISABLED, Observability
 from repro.optimizer.config import Configuration
 from repro.optimizer.space import ParameterSpace
 from repro.transform.skeleton import TransformationSkeleton
@@ -37,6 +38,8 @@ class TuningProblem:
     :param engine: the evaluation engine batches are routed through; None
         builds a serial engine over *target* on first use.  Hand in a
         multi-worker engine to evaluate generations in parallel.
+    :param obs: observability handle the optimizers report convergence
+        telemetry through; None means disabled (zero overhead).
     """
 
     space: ParameterSpace
@@ -44,6 +47,7 @@ class TuningProblem:
     skeleton: TransformationSkeleton | None = None
     tri_objective: bool = False
     engine: EvaluationEngine | None = None
+    obs: Observability | None = None
 
     def __post_init__(self) -> None:
         if self.tri_objective and not self.target.measure_energy:
@@ -60,6 +64,7 @@ class TuningProblem:
         target: SimulatedTarget,
         tri_objective: bool = False,
         engine: EvaluationEngine | None = None,
+        obs: Observability | None = None,
     ) -> "TuningProblem":
         return cls(
             space=ParameterSpace(skeleton.parameters),
@@ -67,14 +72,21 @@ class TuningProblem:
             skeleton=skeleton,
             tri_objective=tri_objective,
             engine=engine,
+            obs=obs,
         )
+
+    @property
+    def observability(self) -> Observability:
+        """The run's observability handle (the shared disabled handle when
+        none was injected)."""
+        return self.obs or DISABLED
 
     @property
     def evaluation_engine(self) -> EvaluationEngine:
         """The engine all batch evaluations go through (created serially on
         first use if none was injected)."""
         if self.engine is None:
-            self.engine = EvaluationEngine(self.target)
+            self.engine = EvaluationEngine(self.target, obs=self.obs)
         return self.engine
 
     @property

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import DISABLED, ConvergenceRecord, emit_generation
 from repro.optimizer.config import Configuration
 from repro.optimizer.pareto import non_dominated
 from repro.optimizer.problem import TuningProblem
@@ -32,19 +33,47 @@ def random_search(
     """
     if budget < 1:
         raise ValueError("budget must be positive")
+    obs = getattr(problem, "observability", None) or DISABLED
     rng = derive_rng(seed, "random-search")
     space = problem.space
     evals_before = problem.evaluations
 
-    all_configs: list[Configuration] = []
-    while problem.evaluations - evals_before < budget:
-        want = budget - (problem.evaluations - evals_before)
-        vectors = space.full_boundary().sample(rng, min(batch, max(want, 1)))
-        all_configs.extend(problem.evaluate_batch(vectors))
+    from repro.optimizer.hypervolume import hypervolume
 
-    front = _dedupe(non_dominated(all_configs, key=lambda c: c.objectives))
+    all_configs: list[Configuration] = []
+    convergence: list[ConvergenceRecord] = []
+    ref = None
+    with obs.tracer.span("optimizer.run", algorithm="random", seed=seed) as span:
+        while problem.evaluations - evals_before < budget:
+            before_batch = problem.evaluations
+            want = budget - (problem.evaluations - evals_before)
+            vectors = space.full_boundary().sample(rng, min(batch, max(want, 1)))
+            all_configs.extend(problem.evaluate_batch(vectors))
+
+            if ref is None:
+                # fixed hypervolume reference from the first batch (the
+                # random analogue of RS-GDE3's initial-population rule)
+                ref = np.array([c.objectives for c in all_configs]).max(axis=0) * 1.1
+            running_front = non_dominated(all_configs, key=lambda c: c.objectives)
+            record = ConvergenceRecord(
+                generation=len(convergence),
+                evaluations=problem.evaluations - evals_before,
+                front_size=len(_dedupe(running_front)),
+                hypervolume=hypervolume(
+                    np.array([c.objectives for c in running_front]), ref
+                ),
+                accepted=problem.evaluations - before_batch,
+            )
+            convergence.append(record)
+            emit_generation(obs, "random", record)
+
+        front = _dedupe(non_dominated(all_configs, key=lambda c: c.objectives))
+        span.set(
+            evaluations=problem.evaluations - evals_before, front_size=len(front)
+        )
     return OptimizerResult(
         front=tuple(front),
         evaluations=problem.evaluations - evals_before,
         generations=0,
+        convergence=tuple(convergence),
     )

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import DISABLED, ConvergenceRecord, emit_generation, population_delta
 from repro.optimizer.config import Configuration
 from repro.optimizer.gde3 import GDE3, GDE3Settings
 from repro.optimizer.hypervolume import hypervolume
@@ -79,6 +80,9 @@ class OptimizerResult:
     #: (evaluations so far, population-front hypervolume) per generation —
     #: convergence trace for the seeding/strategy comparisons
     hv_history: tuple[tuple[int, float], ...] = ()
+    #: full per-generation telemetry (E, |S|, V, accepted/dominated) — the
+    #: paper's V-vs-E trajectory as first-class data
+    convergence: tuple[ConvergenceRecord, ...] = ()
 
     @property
     def size(self) -> int:
@@ -93,57 +97,92 @@ class RSGDE3:
     settings: RSGDE3Settings = field(default_factory=RSGDE3Settings)
 
     def run(self, seed: int = 0) -> OptimizerResult:
+        obs = getattr(self.problem, "observability", None) or DISABLED
         rng = derive_rng(seed, "rsgde3")
         gde3 = GDE3(self.problem, self.settings.gde3)
         full = self.problem.space.full_boundary()
 
         evals_before = self.problem.evaluations
-        if self.settings.informed_seed_fraction > 0:
-            from repro.optimizer.seeding import mixed_initial_vectors
+        with obs.tracer.span("optimizer.run", algorithm="rsgde3", seed=seed) as span:
+            if self.settings.informed_seed_fraction > 0:
+                from repro.optimizer.seeding import mixed_initial_vectors
 
-            vectors = mixed_initial_vectors(
-                self.problem.space,
-                self.problem.target.model,
-                self.settings.gde3.population_size,
-                rng,
-                informed_fraction=self.settings.informed_seed_fraction,
-            )
-            population = self.problem.evaluate_batch(vectors)
-        else:
-            population = gde3.initial_population(full, rng)
-        boundary = rough_set_boundary(population, full, protect=self.settings.protect)
-        history = [boundary.volume_fraction()]
-
-        # fixed hypervolume normalization from the initial population
-        objs0 = np.array([c.objectives for c in population])
-        ref = objs0.max(axis=0) * 1.1
-        best_hv = self._front_hv(population, ref)
-        hv_history = [(self.problem.evaluations - evals_before, best_hv)]
-
-        stalled = 0
-        generations = 0
-        while stalled < self.settings.patience and generations < self.settings.max_generations:
-            population = gde3.generation(population, boundary, rng)
-            boundary = rough_set_boundary(population, full, protect=self.settings.protect)
-            history.append(boundary.volume_fraction())
-            generations += 1
-
-            hv = self._front_hv(population, ref)
-            hv_history.append((self.problem.evaluations - evals_before, hv))
-            if hv > best_hv * (1.0 + self.settings.hv_epsilon):
-                best_hv = hv
-                stalled = 0
+                vectors = mixed_initial_vectors(
+                    self.problem.space,
+                    self.problem.target.model,
+                    self.settings.gde3.population_size,
+                    rng,
+                    informed_fraction=self.settings.informed_seed_fraction,
+                )
+                population = self.problem.evaluate_batch(vectors)
             else:
-                stalled += 1
+                population = gde3.initial_population(full, rng)
+            boundary = rough_set_boundary(population, full, protect=self.settings.protect)
+            history = [boundary.volume_fraction()]
 
-        front = non_dominated(population, key=lambda c: c.objectives)
-        front = _dedupe(front)
+            # fixed hypervolume normalization from the initial population
+            objs0 = np.array([c.objectives for c in population])
+            ref = objs0.max(axis=0) * 1.1
+            best_hv = self._front_hv(population, ref)
+            convergence = [
+                ConvergenceRecord(
+                    generation=0,
+                    evaluations=self.problem.evaluations - evals_before,
+                    front_size=len(
+                        non_dominated(population, key=lambda c: c.objectives)
+                    ),
+                    hypervolume=best_hv,
+                    accepted=len(population),
+                )
+            ]
+            emit_generation(obs, "rsgde3", convergence[0])
+            hv_history = [(convergence[0].evaluations, best_hv)]
+
+            stalled = 0
+            generations = 0
+            while stalled < self.settings.patience and generations < self.settings.max_generations:
+                previous = population
+                population = gde3.generation(population, boundary, rng)
+                boundary = rough_set_boundary(population, full, protect=self.settings.protect)
+                history.append(boundary.volume_fraction())
+                generations += 1
+
+                hv = self._front_hv(population, ref)
+                accepted, dominated = population_delta(previous, population)
+                record = ConvergenceRecord(
+                    generation=generations,
+                    evaluations=self.problem.evaluations - evals_before,
+                    front_size=len(
+                        non_dominated(population, key=lambda c: c.objectives)
+                    ),
+                    hypervolume=hv,
+                    accepted=accepted,
+                    dominated=dominated,
+                )
+                convergence.append(record)
+                emit_generation(obs, "rsgde3", record)
+                hv_history.append((record.evaluations, hv))
+                if hv > best_hv * (1.0 + self.settings.hv_epsilon):
+                    best_hv = hv
+                    stalled = 0
+                else:
+                    stalled += 1
+
+            front = non_dominated(population, key=lambda c: c.objectives)
+            front = _dedupe(front)
+            span.set(
+                generations=generations,
+                evaluations=self.problem.evaluations - evals_before,
+                front_size=len(front),
+                hypervolume=best_hv,
+            )
         return OptimizerResult(
             front=tuple(front),
             evaluations=self.problem.evaluations - evals_before,
             generations=generations,
             boundary_history=tuple(history),
             hv_history=tuple(hv_history),
+            convergence=tuple(convergence),
         )
 
     @staticmethod

@@ -5,12 +5,18 @@ results for their decision-making processes".  Here the monitor records
 which version ran when (and how long it took) and tracks the mutable system
 context — currently the number of cores available to the process — which the
 context-sensitive policies (e.g. :class:`ThreadCapPolicy`) read.
+
+Time comes from an injectable :class:`~repro.obs.clock.Clock` (the same
+protocol the tracer uses), so tests can pin ``ExecutionRecord.timestamp``
+with a :class:`~repro.obs.clock.FakeClock` instead of matching against
+``time.time()``.
 """
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
+
+from repro.obs.clock import Clock, SystemClock
 
 __all__ = ["ExecutionRecord", "RuntimeMonitor"]
 
@@ -34,10 +40,13 @@ class RuntimeMonitor:
     :param available_cores: cores the scheduler may use right now; external
         events (co-scheduled jobs) update it via :meth:`set_available_cores`,
         after which executors re-select versions.
+    :param clock: time source for record timestamps (and for executors
+        timing invocations); inject a FakeClock for deterministic tests.
     """
 
     available_cores: int = 0
     history: list[ExecutionRecord] = field(default_factory=list)
+    clock: Clock = field(default_factory=SystemClock)
 
     def context(self) -> dict:
         ctx: dict = {}
@@ -65,7 +74,7 @@ class RuntimeMonitor:
                 threads=threads,
                 predicted_time=predicted_time,
                 wall_time=wall_time,
-                timestamp=_time.time(),
+                timestamp=self.clock.now(),
             )
         )
 

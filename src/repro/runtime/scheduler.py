@@ -10,11 +10,11 @@ of the abstract.
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import DISABLED, Observability
 from repro.runtime.monitor import RuntimeMonitor
 from repro.runtime.selection import SelectionPolicy, WeightedSumPolicy
 from repro.runtime.version_table import Version, VersionTable
@@ -30,19 +30,25 @@ class RegionExecutor:
     :param policy: selection policy (defaults to the paper's weighted sum
         with equal weights).
     :param monitor: shared runtime monitor; a private one is created when
-        not supplied.
+        not supplied.  Its clock also times invocations.
+    :param obs: observability handle — every decision becomes a
+        ``runtime.selection`` event (policy, context, chosen version,
+        predicted vs. actual time).
     """
 
     table: VersionTable
     policy: SelectionPolicy = field(default_factory=WeightedSumPolicy)
     monitor: RuntimeMonitor = field(default_factory=RuntimeMonitor)
+    obs: Observability | None = None
 
     def set_policy(self, policy: SelectionPolicy) -> None:
         self.policy = policy
 
     def select(self) -> Version:
         """The version the current policy would pick right now."""
-        return self.policy.select(self.table, self.monitor.context())
+        version = self.policy.select(self.table, self.monitor.context())
+        self._emit_selection(version, wall_time=None)
+        return version
 
     def execute(
         self,
@@ -50,10 +56,11 @@ class RegionExecutor:
         scalars: dict[str, int],
     ) -> Version:
         """Run the selected version on the given data; returns it."""
-        version = self.select()
-        t0 = _time.perf_counter()
+        version = self.policy.select(self.table, self.monitor.context())
+        clock = self.monitor.clock
+        t0 = clock.perf()
         version(arrays, scalars)
-        wall = _time.perf_counter() - t0
+        wall = clock.perf() - t0
         self.monitor.record(
             region=self.table.region_name,
             version_index=version.meta.index,
@@ -61,7 +68,34 @@ class RegionExecutor:
             predicted_time=version.meta.time,
             wall_time=wall,
         )
+        self._emit_selection(version, wall_time=wall)
         return version
+
+    def _emit_selection(self, version: Version, wall_time: float | None) -> None:
+        """Publish one selection decision (actual time only when the
+        version actually ran)."""
+        obs = self.obs or DISABLED
+        obs.tracer.event(
+            "runtime.selection",
+            region=self.table.region_name,
+            policy=self.policy.describe(),
+            context=self.monitor.context(),
+            version=version.meta.index,
+            threads=version.meta.threads,
+            predicted_time=version.meta.time,
+            actual_time=wall_time,
+        )
+        m = obs.metrics
+        m.counter(
+            "repro_runtime_selections_total", "version-selection decisions"
+        ).inc()
+        if wall_time is not None:
+            m.counter(
+                "repro_runtime_executions_total", "region invocations executed"
+            ).inc()
+            m.histogram(
+                "repro_runtime_wall_seconds", "observed region wall time"
+            ).observe(wall_time)
 
     def recalibrate(self, min_samples: int = 3) -> int:
         """Fold observed wall times back into the version metadata.

@@ -148,3 +148,88 @@ class TestReport:
         code, text = run_cli("report", "--repetitions", "1")
         assert code == 0
         assert "Table VI" in text
+
+
+class TestObservabilityCLI:
+    def test_tune_trace_produces_end_to_end_jsonl(self, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        code, text = run_cli(
+            "tune", "mm", "--size", "N=200", "--trace", str(trace_path)
+        )
+        assert code == 0
+        assert f"wrote {trace_path}" in text
+
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert (meta["kernel"], meta["command"]) == ("mm", "tune")
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        event_names = {r["name"] for r in records if r["type"] == "event"}
+        # the three acceptance event/span families, all in one trace
+        assert "optimizer.run" in span_names
+        assert "engine.batch" in span_names
+        assert "optimizer.generation" in event_names
+        assert "runtime.selection" in event_names
+        assert {"driver.analyze", "driver.optimize", "driver.finalize"} <= span_names
+
+    def test_trace_subcommand_summarizes(self, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        run_cli("tune", "mm", "--size", "N=200", "--trace", str(trace_path))
+        code, text = run_cli("trace", str(trace_path))
+        assert code == 0
+        assert "kernel=mm" in text
+        assert "Phase breakdown" in text
+        assert "Convergence trajectory" in text
+        assert "Evaluation-engine accounting" in text
+        assert "Runtime selection decisions" in text
+
+    def test_tune_metrics_prints_exposition(self):
+        code, text = run_cli("tune", "mm", "--size", "N=200", "--metrics")
+        assert code == 0
+        assert "# TYPE repro_engine_batches_total counter" in text
+        assert "repro_optimizer_generations_total" in text
+        assert "repro_runtime_selections_total" not in text  # no tracing, no preview
+
+    def test_trace_missing_file_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc_info:
+            run_cli("trace", str(tmp_path / "absent.jsonl"))
+        message = str(exc_info.value)
+        assert "cannot read trace file" in message
+        assert "Traceback" not in message
+
+    def test_trace_corrupt_file_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "meta", "format": 1}\n{oops\n')
+        with pytest.raises(SystemExit) as exc_info:
+            run_cli("trace", str(bad))
+        assert "line 2" in str(exc_info.value)
+
+    def test_trace_flag_unwritable_path_fails_before_run(self, tmp_path):
+        with pytest.raises(SystemExit) as exc_info:
+            run_cli(
+                "tune", "mm", "--size", "N=200",
+                "--trace", str(tmp_path / "no" / "dir" / "t.jsonl"),
+            )
+        assert "cannot write trace file" in str(exc_info.value)
+
+
+class TestReportTelemetry:
+    def test_report_includes_engine_and_convergence(self, tmp_path):
+        out_file = tmp_path / "report.md"
+        code, _ = run_cli("report", "--out", str(out_file), "--repetitions", "1")
+        assert code == 0
+        content = out_file.read_text()
+        assert "Evaluation engine (workers=1):" in content
+        assert "batches=" in content and "cache_hits=" in content
+        assert "Convergence trajectory (RS-GDE3, repetition 0)" in content
+        # the trajectory table has a generation-0 row and at least one more
+        section = content.split("Convergence trajectory", 1)[1]
+        rows = [
+            line for line in section.splitlines()
+            if line.startswith("| ") and not line.startswith("| generation")
+        ]
+        assert len(rows) >= 2
+        first = rows[0].split("|")
+        assert first[1].strip() == "0"  # generation 0 kept by the subsample

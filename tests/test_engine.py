@@ -337,3 +337,71 @@ class TestOptimizerRouting:
         assert [c.values for c in r1.front] == [c.values for c in r8.front]
         assert [c.objectives for c in r1.front] == [c.objectives for c in r8.front]
         assert r1.hv_history == r8.hv_history
+
+
+class TestEngineStatsUnit:
+    """Direct unit coverage for the accounting dataclass."""
+
+    def test_merge_sums_every_field(self):
+        from dataclasses import fields
+
+        a = EngineStats(**{f.name: i + 1 for i, f in enumerate(fields(EngineStats))})
+        b = EngineStats(**{f.name: 10 * (i + 1) for i, f in enumerate(fields(EngineStats))})
+        a.merge(b)
+        for i, f in enumerate(fields(EngineStats)):
+            assert getattr(a, f.name) == 11 * (i + 1), f.name
+
+    def test_merge_with_empty_is_identity(self):
+        a = EngineStats(batches=2, configs=5, dispatched=4, wall_time_s=0.25)
+        before = a.as_dict()
+        a.merge(EngineStats())
+        assert a.as_dict() == before
+
+    def test_as_dict_lists_every_field(self):
+        from dataclasses import fields
+
+        d = EngineStats(batches=1, timeouts=2, serial_fallbacks=3).as_dict()
+        assert set(d) == {f.name for f in fields(EngineStats)}
+        assert (d["batches"], d["timeouts"], d["serial_fallbacks"]) == (1, 2, 3)
+
+    def test_summary_renders_key_counters(self):
+        s = EngineStats(
+            batches=4, configs=40, dispatched=30, cache_hits=6,
+            deduped=4, retried=2, failed=1, wall_time_s=0.5,
+        ).summary()
+        for part in (
+            "batches=4", "configs=40", "dispatched=30", "cache_hits=6",
+            "deduped=4", "retried=2", "failed=1", "wall=0.500s",
+        ):
+            assert part in s
+
+
+class TestEngineObservability:
+    """evaluate_batch reports into the injected Observability handle."""
+
+    def test_batch_span_carries_accounting(self, mm_model):
+        from repro.obs import FakeClock, Observability
+
+        obs = Observability.tracing(clock=FakeClock(tick=1e-3))
+        engine = EvaluationEngine(fresh_target(mm_model), obs=obs)
+        res = engine.evaluate_batch(some_configs(9, duplicate_every=3))
+        (span,) = [r for r in obs.tracer.records() if r["type"] == "span"]
+        assert span["name"] == "engine.batch"
+        assert span["attrs"]["configs"] == 9
+        assert span["attrs"]["dispatched"] == res.stats.dispatched
+        assert span["attrs"]["deduped"] == res.stats.deduped
+        assert span["duration"] > 0
+
+    def test_metrics_accumulate_across_batches(self, mm_model):
+        from repro.obs import Observability
+
+        obs = Observability.disabled()  # metrics still collected
+        engine = EvaluationEngine(fresh_target(mm_model), obs=obs)
+        engine.evaluate_batch(some_configs(6, duplicate_every=0))
+        engine.evaluate_batch(some_configs(6, duplicate_every=0))  # all cached
+        m = obs.metrics.as_dict()
+        assert m["repro_engine_batches_total"] == 2
+        assert m["repro_engine_configs_total"] == 12
+        assert m["repro_engine_cache_hits_total"] == 6
+        assert m["repro_engine_batch_seconds"]["count"] == 2
+        assert obs.tracer.records() == []  # tracing stayed off

@@ -291,3 +291,72 @@ class TestRecalibration:
             ex.monitor.record("mm", 0, 4, 0.1, wall)
         ex.recalibrate()
         assert ex.table[0].meta.energy == pytest.approx(20.0)
+
+
+class TestMonitorClock:
+    """The monitor's time source is injectable (same Clock protocol as the
+    tracer), so execution-record timestamps can be pinned in tests."""
+
+    def test_default_is_system_clock(self):
+        from repro.obs import SystemClock
+
+        assert isinstance(RuntimeMonitor().clock, SystemClock)
+
+    def test_fake_clock_pins_timestamps(self):
+        from repro.obs import FakeClock
+
+        m = RuntimeMonitor(clock=FakeClock(t=100.0, tick=1.0))
+        m.record("mm", 0, 4, 0.1, 0.12)
+        m.record("mm", 1, 2, 0.2, 0.25)
+        assert [r.timestamp for r in m.history] == [100.0, 101.0]
+
+    def test_executor_times_with_monitor_clock(self, rng):
+        """execute() walls are measured on the monitor's clock — with a
+        ticking FakeClock every invocation takes exactly one tick."""
+        from repro.obs import FakeClock
+
+        helper = TestRegionExecutor()
+        k, table = helper._executable_table()
+        monitor = RuntimeMonitor(clock=FakeClock(tick=0.5))
+        ex = RegionExecutor(table, monitor=monitor)
+        arrs = {n: v.copy() for n, v in k.make_inputs(k.test_size, rng).items()}
+        ex.execute(arrs, k.test_size)
+        rec = monitor.history[-1]
+        assert rec.wall_time == 0.5  # perf() ticked once during the run
+        assert rec.timestamp == 1.0  # third read of the same counter
+
+
+class TestSelectionEvents:
+    def test_select_emits_decision_event(self, table):
+        from repro.obs import FakeClock, Observability
+
+        obs = Observability.tracing(clock=FakeClock(tick=0.1))
+        ex = RegionExecutor(table, policy=FastestPolicy(), obs=obs)
+        ex.monitor.set_available_cores(16)
+        v = ex.select()
+        (event,) = obs.tracer.records()
+        assert event["name"] == "runtime.selection"
+        attrs = event["attrs"]
+        assert attrs["region"] == "mm"
+        assert attrs["policy"] == FastestPolicy().describe()
+        assert attrs["context"] == {"available_cores": 16}
+        assert attrs["version"] == v.meta.index
+        assert attrs["predicted_time"] == v.meta.time
+        assert attrs["actual_time"] is None
+        assert obs.metrics.as_dict()["repro_runtime_selections_total"] == 1
+
+    def test_execute_emits_actual_time(self, rng):
+        from repro.obs import FakeClock, Observability
+
+        helper = TestRegionExecutor()
+        k, table = helper._executable_table()
+        obs = Observability.tracing(clock=FakeClock(tick=0.1))
+        monitor = RuntimeMonitor(clock=FakeClock(tick=0.5))
+        ex = RegionExecutor(table, monitor=monitor, obs=obs)
+        arrs = {n: v.copy() for n, v in k.make_inputs(k.test_size, rng).items()}
+        ex.execute(arrs, k.test_size)
+        (event,) = obs.tracer.records()
+        assert event["attrs"]["actual_time"] == 0.5
+        m = obs.metrics.as_dict()
+        assert m["repro_runtime_executions_total"] == 1
+        assert m["repro_runtime_wall_seconds"]["count"] == 1
