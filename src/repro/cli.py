@@ -28,6 +28,7 @@ import sys
 from pathlib import Path
 
 from repro.driver.compiler import TuningDriver
+from repro.evaluation.disk_cache import DEFAULT_CACHE_DIR
 from repro.frontend.kernels import ALL_KERNELS, get_kernel
 from repro.machine.model import BARCELONA, WESTMERE, machine_by_name
 from repro.obs import Observability, TraceError, trace_summary_for_path
@@ -45,6 +46,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("kernels", help="list the registered benchmark kernels")
     sub.add_parser("machines", help="list the simulated target machines")
+
+    def add_cache_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--cache-dir",
+            nargs="?",
+            const=DEFAULT_CACHE_DIR,
+            default=None,
+            metavar="DIR",
+            help="persist measurements across runs in DIR (bare flag uses "
+            f"{DEFAULT_CACHE_DIR}); repeated runs serve cached "
+            "configurations from disk without re-evaluating the model",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="ignore --cache-dir (force every measurement to recompute)",
+        )
 
     def add_obs_options(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -72,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation-engine workers (integer or 'auto' = 3/4 of cores)",
     )
     add_obs_options(report)
+    add_cache_options(report)
 
     trace = sub.add_parser(
         "trace", help="summarize a JSONL trace recorded with --trace"
@@ -80,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_tune_options(p: argparse.ArgumentParser) -> None:
         add_obs_options(p)
+        add_cache_options(p)
         p.add_argument("--machine", default="westmere", help="westmere | barcelona")
         p.add_argument(
             "--size",
@@ -101,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="evaluate configuration batches with N worker threads "
             "(integer or 'auto' = 3/4 of cores); results are bit-identical "
             "to the serial default",
+        )
+        p.add_argument(
+            "--eval-backend",
+            default="thread",
+            choices=["thread", "process"],
+            help="dispatch backend for the evaluation engine: 'thread' "
+            "(default, shared model) or 'process' (pickled model state, "
+            "true parallelism for large grids); results are bit-identical",
         )
         p.add_argument(
             "--engine-stats",
@@ -220,6 +248,12 @@ def _cmd_machines(out) -> int:
     return 0
 
 
+def _cache_dir(args) -> str | None:
+    if getattr(args, "no_cache", False):
+        return None
+    return getattr(args, "cache_dir", None)
+
+
 def _cmd_tune(args, out) -> int:
     machine = machine_by_name(args.machine)
     obs = _build_obs(args)
@@ -228,6 +262,8 @@ def _cmd_tune(args, out) -> int:
         seed=args.seed,
         workers=_parse_workers(args.workers),
         obs=obs,
+        cache_dir=_cache_dir(args),
+        backend=args.eval_backend,
     )
     sizes = _parse_sizes(args.size)
 
@@ -257,9 +293,12 @@ def _cmd_tune(args, out) -> int:
     stats = tuned.engine_stats
     if args.engine_stats and stats is not None:
         print(
-            f"engine: workers={tuned.engine.max_workers} {stats.summary()}",
+            f"engine: workers={tuned.engine.max_workers} "
+            f"backend={tuned.engine.backend} {stats.summary()}",
             file=out,
         )
+        if driver.disk_cache is not None:
+            print(driver.disk_cache.summary(), file=out)
 
     if args.emit_c:
         unit = tuned.emit_c()
@@ -316,6 +355,7 @@ def _cmd_report(args, out) -> int:
         seed=args.seed,
         workers=_parse_workers(args.workers),
         obs=obs,
+        cache_dir=_cache_dir(args),
     )
     if args.out:
         Path(args.out).write_text(text)

@@ -27,6 +27,7 @@ from repro.backend.meta import VersionMeta
 from repro.backend.multiversion import MultiVersionUnit, build_multiversion_c
 from repro.backend.pygen import compile_function
 from repro.evaluation.cost import RegionCostModel
+from repro.evaluation.disk_cache import MeasurementDiskCache
 from repro.evaluation.parallel_eval import EngineStats, EvaluationEngine
 from repro.evaluation.simulator import SimulatedTarget
 from repro.frontend.kernels import Kernel, get_kernel
@@ -187,6 +188,12 @@ class TuningDriver:
     :param obs: observability handle — compiler phases become spans and
         the optimizer/engine telemetry flows into its tracer and metrics;
         None (the default) disables tracing at zero cost.
+    :param cache_dir: directory of the persistent measurement cache
+        (``--cache-dir``); None disables.  A repeated run against the same
+        kernel/machine/seed serves every previously measured configuration
+        from disk with E unchanged.
+    :param backend: evaluation dispatch backend, ``"thread"`` (default) or
+        ``"process"`` (``--eval-backend``).
     """
 
     machine: MachineModel = field(default_factory=lambda: WESTMERE)
@@ -195,6 +202,20 @@ class TuningDriver:
     settings: RSGDE3Settings = field(default_factory=RSGDE3Settings)
     workers: int | str = 1
     obs: Observability | None = None
+    cache_dir: str | None = None
+    backend: str = "thread"
+    _disk_cache: MeasurementDiskCache | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def disk_cache(self) -> MeasurementDiskCache | None:
+        """The driver's shared persistent cache handle (lazily opened)."""
+        if self.cache_dir is None:
+            return None
+        if self._disk_cache is None:
+            self._disk_cache = MeasurementDiskCache(self.cache_dir)
+        return self._disk_cache
 
     # ------------------------------------------------------------------
 
@@ -277,9 +298,15 @@ class TuningDriver:
             parallel_spec=skeleton.parallel_spec(),
         )
         target = SimulatedTarget(
-            model, seed=self.seed, noise=self.noise, measure_energy=with_energy
+            model,
+            seed=self.seed,
+            noise=self.noise,
+            measure_energy=with_energy,
+            disk_cache=self.disk_cache,
         )
-        engine = EvaluationEngine(target, max_workers=self.workers, obs=self.obs)
+        engine = EvaluationEngine(
+            target, max_workers=self.workers, obs=self.obs, backend=self.backend
+        )
         problem = TuningProblem.from_skeleton(
             skeleton, target, tri_objective=with_energy, engine=engine, obs=self.obs
         )

@@ -19,6 +19,7 @@ for the paper-scale experiments).
 """
 
 from repro.evaluation.cost import RegionCostModel
+from repro.evaluation.disk_cache import DEFAULT_CACHE_DIR, MeasurementDiskCache
 from repro.evaluation.measurements import Measurement, MeasurementProtocol
 from repro.evaluation.simulator import SimulatedTarget
 from repro.evaluation.parallel_eval import (
@@ -41,6 +42,8 @@ from repro.evaluation.objectives import (
 __all__ = [
     "RegionCostModel",
     "SimulatedTarget",
+    "MeasurementDiskCache",
+    "DEFAULT_CACHE_DIR",
     "Measurement",
     "MeasurementProtocol",
     "BatchEvaluator",

@@ -34,6 +34,7 @@ The model is deterministic; measurement noise is layered on top by
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 
@@ -711,6 +712,46 @@ class RegionCostModel:
             busy,
         )
         return busy * self.sweep_factor
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines :meth:`time`.
+
+        Two models with equal fingerprints produce identical times for
+        every (tiles, threads) configuration, so the fingerprint can key
+        a persistent measurement cache across processes.  Every repr used
+        is deterministic — ``Stream.depends`` (a frozenset, whose repr
+        order follows hash randomization) is sorted explicitly."""
+        h = hashlib.blake2b(digest_size=16)
+
+        def feed(part: object) -> None:
+            h.update(repr(part).encode())
+            h.update(b"\x00")
+
+        feed(self.machine)
+        feed(sorted(self.bindings.items()))
+        feed(self.band)
+        feed(sorted(self.extent.items()))
+        feed(self.flops_per_iteration)
+        feed(self.sweep_factor)
+        feed(self.total_iterations)
+        feed(self.parallel_spec)
+        feed(self._elem_size)
+        for stream in self.streams:
+            feed(
+                (
+                    stream.array,
+                    stream.coeff_dims,
+                    stream.const_span,
+                    tuple(sorted(stream.depends)),
+                    stream.has_write,
+                    stream.elem_size,
+                )
+            )
+        return h.hexdigest()
 
     # ------------------------------------------------------------------
     # convenience

@@ -11,34 +11,48 @@ the configurations of one generation and it runs a three-stage pipeline —
    ``config_key``) and deduplicated both within the batch and against the
    target's memo cache, so each unique configuration is computed at most
    once per run;
-2. **dispatch** — unique configurations fan out to a worker pool
+2. **dispatch** — unique configurations are sharded into
+   ``ceil(B/workers)``-sized **chunks** that fan out to a worker pool
    (``max_workers="auto"`` sizes it at three quarters of the visible cores,
-   the MITuna default).  Workers are *pure*: they produce
+   the MITuna default), each worker executing one *vectorized*
+   ``compute_keys(chunk)`` call so the NumPy batch path is never traded
+   away for parallelism.  Workers are *pure*: they produce
    ``key → (Objectives, Measurement)`` results without touching the
-   evaluation ledger;
+   evaluation ledger.  The default ``backend="thread"`` shares the model;
+   ``backend="process"`` moves chunks to a ``ProcessPoolExecutor`` over
+   pickled model state for true parallelism on large grids;
 3. **commit** — the engine commits worker results serially, in batch
    order, through the target's locked single-writer ``commit``.  Because
    measurement noise is hash-derived per key, results are bit-identical to
    the serial path and the ``E`` metric (paper Table VI) stays exact no
    matter how many workers race.
 
-A robustness layer wraps dispatch: per-configuration timeout, bounded retry
-with linear backoff, and graceful degradation — configurations whose pooled
-attempts keep failing are rescued serially in the caller's thread, and an
-engine that has to rescue ``degrade_after`` consecutive batches stops using
-the pool altogether.  :class:`FaultPolicy` injects failures for testing.
-:class:`EngineStats` records the accounting (dispatched / cache hits /
-deduped / retried / failed, wall time).
+A robustness layer wraps dispatch: one wall-clock deadline per attempt
+(``concurrent.futures.wait`` — n stragglers cost one timeout, not n),
+bounded per-chunk retry with linear backoff, and graceful degradation —
+configurations whose pooled attempts keep failing are rescued **per key**
+serially in the caller's thread, and an engine that has to rescue
+``degrade_after`` consecutive batches stops using the pool altogether.
+:class:`FaultPolicy` injects failures for testing.  :class:`EngineStats`
+records the accounting (dispatched / cache hits / deduped / disk hits /
+retried / failed, wall time).
+
+When the target carries a persistent
+:class:`~repro.evaluation.disk_cache.MeasurementDiskCache`, the engine
+consults it between dedup and dispatch (counted as ``disk_hits``) and
+persists freshly computed chunks after the commit stage, so repeated runs
+perform zero model evaluations for already-cached configurations while
+``E`` stays exact.
 
 ``BatchEvaluator`` remains as a backwards-compatible alias.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field, fields
 
 from repro.evaluation.measurements import Measurement
@@ -127,8 +141,9 @@ class FlakyFaultPolicy(FaultPolicy):
 class EngineStats:
     """Evaluation-engine accounting (cumulative or per batch).
 
-    ``configs = dispatched + cache_hits + deduped`` always holds; ``E``
-    grows by exactly ``new_evaluations``.
+    ``configs = dispatched + cache_hits + deduped + disk_hits`` always
+    holds; ``E`` grows by exactly ``new_evaluations`` (disk hits commit to
+    the ledger too, so E is identical between cold and warm disk caches).
     """
 
     batches: int = 0
@@ -139,6 +154,8 @@ class EngineStats:
     cache_hits: int = 0
     #: duplicate configurations within batches (computed once)
     deduped: int = 0
+    #: configurations served from the persistent on-disk cache
+    disk_hits: int = 0
     #: ledger commits (== dispatched unless an external caller raced)
     new_evaluations: int = 0
     #: retry attempts after pooled failures/timeouts
@@ -159,7 +176,8 @@ class EngineStats:
         return (
             f"batches={self.batches} configs={self.configs} "
             f"dispatched={self.dispatched} cache_hits={self.cache_hits} "
-            f"deduped={self.deduped} retried={self.retried} "
+            f"deduped={self.deduped} disk_hits={self.disk_hits} "
+            f"retried={self.retried} "
             f"failed={self.failed} wall={self.wall_time_s:.3f}s"
         )
 
@@ -183,9 +201,9 @@ class EvaluationEngine:
         ``lookup``, pure ``compute_keys`` and single-writer ``commit``.
     :param max_workers: worker threads; ``"auto"`` → :func:`auto_workers`,
         1 (the default) evaluates serially through the same pipeline.
-    :param timeout_s: per-configuration wall-time limit for pooled
-        attempts (the worker thread cannot be killed, but its result is
-        abandoned and the attempt retried).  None disables.
+    :param timeout_s: wall-time limit per pooled *attempt* — one deadline
+        covers the whole fan-out (a worker cannot be killed, but its
+        result is abandoned and its chunk retried).  None disables.
     :param retries: extra attempts after a failed/timed-out pooled attempt.
     :param backoff_s: linear backoff between retry rounds.
     :param degrade_after: after this many consecutive batches needing the
@@ -194,6 +212,15 @@ class EvaluationEngine:
     :param obs: observability handle — every batch becomes an
         ``engine.batch`` span and the accounting is folded into metric
         counters/histograms; the default disabled handle is free.
+    :param backend: ``"thread"`` (default) shares the model between
+        workers; ``"process"`` pickles the target's pure measurement
+        state into a cached ``ProcessPoolExecutor`` for true parallelism
+        on large grids (incompatible with ``fault_policy``, whose
+        in-memory call log cannot cross processes).
+    :param chunk_size: configurations per worker chunk; None (default)
+        uses ``ceil(B/workers)`` so one vectorized call per worker covers
+        the batch.  ``chunk_size=1`` reproduces per-key dispatch (the
+        benchmark baseline).  Any value is bit-identical.
     """
 
     def __init__(
@@ -206,11 +233,22 @@ class EvaluationEngine:
         degrade_after: int = 2,
         fault_policy: FaultPolicy | None = None,
         obs: Observability | None = None,
+        backend: str = "thread",
+        chunk_size: int | None = None,
     ) -> None:
         if max_workers == "auto" or max_workers is None:
             max_workers = auto_workers()
         if int(max_workers) < 1:
             raise ValueError("max_workers must be >= 1 (or 'auto')")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+        if backend == "process" and fault_policy is not None:
+            raise ValueError(
+                "backend='process' cannot inject faults: the policy's state "
+                "lives in this process — use the thread backend for fault tests"
+            )
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ValueError("chunk_size must be >= 1 (or None for auto)")
         self.target = target
         self.max_workers = int(max_workers)
         self.timeout_s = timeout_s
@@ -219,10 +257,13 @@ class EvaluationEngine:
         self.degrade_after = int(degrade_after)
         self.fault_policy = fault_policy
         self.obs = obs or DISABLED
+        self.backend = backend
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
         #: cumulative accounting across all batches
         self.stats = EngineStats()
         self._degraded = False
         self._strikes = 0
+        self._process_pool: ProcessPoolExecutor | None = None
 
     # ------------------------------------------------------------------
 
@@ -235,6 +276,13 @@ class EvaluationEngine:
         """Re-arm the worker pool after degradation."""
         self._degraded = False
         self._strikes = 0
+
+    def close(self) -> None:
+        """Release the cached process pool (no-op for the thread backend,
+        whose pools are per batch)."""
+        if self._process_pool is not None:
+            self._process_pool.shutdown(wait=False, cancel_futures=True)
+            self._process_pool = None
 
     # ------------------------------------------------------------------
 
@@ -263,23 +311,39 @@ class EvaluationEngine:
                 else:
                     pending[key] = None
             order = list(pending)
-            batch.dispatched = len(order)
 
             results: dict[tuple, tuple[Objectives, Measurement]] = {}
-            serial = self.max_workers == 1 or self._degraded or len(order) <= 1
-            if order:
+            # persistent-cache phase: serve what a previous process already
+            # measured; hits are committed below like any computed result,
+            # so E stays exact while dispatch shrinks to the cold keys
+            if getattr(self.target, "has_disk_cache", False):
+                for key in order:
+                    disk = self.target.disk_fetch(key)
+                    if disk is not None:
+                        results[key] = disk
+                        batch.disk_hits += 1
+            compute = [key for key in order if key not in results]
+            batch.dispatched = len(compute)
+
+            serial = self.max_workers == 1 or self._degraded or len(compute) <= 1
+            if compute:
                 if serial:
                     if self._degraded:
                         batch.serial_fallbacks += 1
-                    self._compute_serial(order, results, batch)
+                    self._compute_serial(compute, results, batch)
                 else:
-                    self._compute_parallel(order, results, batch)
+                    self._compute_parallel(compute, results, batch)
 
             # single-writer commit, in batch order — the only ledger mutation
             for key in order:
                 obj, measurement = results[key]
                 if self.target.commit(key, obj, measurement):
                     batch.new_evaluations += 1
+
+            if compute and getattr(self.target, "has_disk_cache", False):
+                self.target.disk_store_many(
+                    [(key, *results[key]) for key in compute]
+                )
 
             objectives = tuple(self.target.lookup(key) for key in keys)
             batch.wall_time_s = time.perf_counter() - t0
@@ -312,6 +376,10 @@ class EvaluationEngine:
             "repro_engine_deduped_total", "in-batch duplicate configurations"
         ).inc(batch.deduped)
         m.counter(
+            "repro_engine_disk_hits_total",
+            "configurations served from the persistent disk cache",
+        ).inc(batch.disk_hits)
+        m.counter(
             "repro_engine_retries_total", "retry attempts after pooled failures"
         ).inc(batch.retried)
         m.counter(
@@ -343,36 +411,58 @@ class EvaluationEngine:
 
     # -- pooled path -------------------------------------------------------
 
+    def _chunks(self, keys: list[tuple]) -> list[tuple[tuple, ...]]:
+        """Shard *keys* into the per-worker chunks of one fan-out: by
+        default ``ceil(B/workers)`` keys each, so every worker makes one
+        vectorized ``compute_keys`` call over its whole share."""
+        size = self.chunk_size or max(1, math.ceil(len(keys) / self.max_workers))
+        return [tuple(keys[i : i + size]) for i in range(0, len(keys), size)]
+
+    def _submit_chunk(self, pool, chunk: tuple[tuple, ...], attempt: int):
+        if self.backend == "process":
+            return pool.submit(_proc_compute, chunk)
+        return pool.submit(self._compute_chunk, chunk, attempt)
+
     def _compute_parallel(self, order, results, batch) -> None:
         remaining = list(order)
+        position = {key: i for i, key in enumerate(order)}
         attempt = 1
-        pool = ThreadPoolExecutor(
-            max_workers=self.max_workers, thread_name_prefix="repro-eval"
-        )
+        pool = self._pool()
         try:
             while remaining and attempt <= 1 + self.retries:
                 if attempt > 1:
                     batch.retried += len(remaining)
                     time.sleep(self.backoff_s * (attempt - 1))
                 futures = {
-                    key: pool.submit(self._compute_one, key, attempt, False)
-                    for key in remaining
+                    self._submit_chunk(pool, chunk, attempt): chunk
+                    for chunk in self._chunks(remaining)
                 }
+                # one deadline for the whole attempt: n stragglers cost one
+                # timeout budget, not n sequential ones
+                done, not_done = wait(set(futures), timeout=self.timeout_s)
                 still_failing = []
-                for key, future in futures.items():
+                for future in not_done:
+                    batch.timeouts += 1
+                    future.cancel()
+                    still_failing.extend(futures[future])
+                for future in done:
+                    chunk = futures[future]
                     try:
-                        results[key] = future.result(timeout=self.timeout_s)
-                    except _FuturesTimeout:
-                        batch.timeouts += 1
-                        future.cancel()
-                        still_failing.append(key)
+                        chunk_results = future.result()
                     except Exception:
-                        still_failing.append(key)
+                        still_failing.extend(chunk)
+                    else:
+                        for key, result in zip(chunk, chunk_results):
+                            results[key] = result
+                # wait() hands back sets — restore batch order so retry
+                # chunking (and therefore accounting) is deterministic
+                still_failing.sort(key=position.__getitem__)
                 remaining = still_failing
                 attempt += 1
         finally:
-            # don't wait for abandoned (timed-out) workers
-            pool.shutdown(wait=False, cancel_futures=True)
+            if self.backend == "thread":
+                # don't wait for abandoned (timed-out) workers
+                pool.shutdown(wait=False, cancel_futures=True)
 
         if remaining:
             batch.failed += len(remaining)
@@ -384,15 +474,40 @@ class EvaluationEngine:
                     strikes=self._strikes,
                     failed_configs=len(remaining),
                 )
+            # last line of defence: per-key serial rescue in this thread
             for key in remaining:
                 results[key] = self._rescue(key, batch, first_attempt=attempt)
         else:
             self._strikes = 0
 
+    def _pool(self):
+        if self.backend == "process":
+            if self._process_pool is None:
+                self._process_pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_proc_init,
+                    initargs=(self.target,),
+                )
+            return self._process_pool
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-eval"
+        )
+
+    def _compute_chunk(
+        self, keys: tuple[tuple, ...], attempt: int
+    ) -> list[tuple[Objectives, Measurement]]:
+        """Pure chunk computation (worker body): one vectorized
+        ``compute_keys`` call per chunk; a fault on any key fails the whole
+        chunk (its keys are retried together, then rescued per key)."""
+        if self.fault_policy is not None:
+            for key in keys:
+                self.fault_policy.check(key, attempt, False)
+        return self.target.compute_keys(list(keys))
+
     def _compute_one(
         self, key: tuple, attempt: int, serial: bool
     ) -> tuple[Objectives, Measurement]:
-        """Pure per-configuration computation (worker body)."""
+        """Pure per-configuration computation (rescue body)."""
         if self.fault_policy is not None:
             self.fault_policy.check(key, attempt, serial)
         return self.target.compute_keys([key])[0]
@@ -413,6 +528,27 @@ class EvaluationEngine:
         raise EvaluationError(
             f"configuration {key} failed after {self.retries + 1} serial attempts"
         ) from last_error
+
+
+# -- process-backend worker half ------------------------------------------
+#
+# The target's __getstate__ ships only the pure measurement function (model
+# + noise parameters) to each worker process once, at pool start; chunks
+# then cross the pipe as plain key tuples and results as (Objectives,
+# Measurement) pairs.  The parent keeps the ledger and commits serially,
+# exactly as with the thread backend.
+
+_PROC_TARGET: SimulatedTarget | None = None
+
+
+def _proc_init(target: SimulatedTarget) -> None:
+    global _PROC_TARGET
+    _PROC_TARGET = target
+
+
+def _proc_compute(keys: tuple[tuple, ...]) -> list[tuple[Objectives, Measurement]]:
+    assert _PROC_TARGET is not None, "worker process was not initialized"
+    return _PROC_TARGET.compute_keys(list(keys))
 
 
 #: Backwards-compatible alias — the old BatchEvaluator interface

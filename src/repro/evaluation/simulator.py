@@ -20,10 +20,20 @@ the locked :meth:`SimulatedTarget.commit`, so concurrent evaluators —
 external callers as well as the
 :class:`~repro.evaluation.parallel_eval.EvaluationEngine` worker pool —
 can never lose ``E`` increments or double-count a configuration.
+
+Attaching a :class:`~repro.evaluation.disk_cache.MeasurementDiskCache`
+extends the memo across *process* runs: before computing, the target
+consults the on-disk shard keyed by its :meth:`fingerprint` (model,
+machine, seed, noise, protocol); disk hits are committed to the ledger
+like any other measurement, so ``E`` is identical between cold and warm
+caches.  Targets are picklable for the engine's process backend — the
+pickled state carries only the pure measurement function (model + noise
+parameters), never the ledger, lock, or cache handle.
 """
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time as _time
 from collections.abc import Sequence
@@ -51,6 +61,9 @@ class SimulatedTarget:
     :param noise: relative measurement jitter (sigma of the lognormal).
     :param protocol: sampling protocol (median of k).
     :param collapsed: worksharing collapse depth forwarded to the model.
+    :param disk_cache: optional persistent measurement cache shared
+        across process runs (see
+        :class:`~repro.evaluation.disk_cache.MeasurementDiskCache`).
     """
 
     def __init__(
@@ -61,6 +74,7 @@ class SimulatedTarget:
         protocol: MeasurementProtocol | None = None,
         collapsed: int | None = None,
         measure_energy: bool = False,
+        disk_cache=None,
     ) -> None:
         self.model = model
         self.seed = int(seed)
@@ -68,9 +82,29 @@ class SimulatedTarget:
         self.protocol = protocol or MeasurementProtocol()
         self.collapsed = collapsed
         self.measure_energy = bool(measure_energy)
+        self.disk_cache = disk_cache
         self.evaluations = 0
         self._cache: dict[tuple, Objectives] = {}
         self._measurements: dict[tuple, Measurement] = {}
+        self._fingerprint: str | None = None
+        self._lock = threading.Lock()
+
+    # -- pickling (process backend) ---------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Ship only the pure measurement function: model + noise/protocol
+        parameters.  The ledger, lock and disk-cache handle stay behind —
+        worker processes compute, the parent commits."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        state["disk_cache"] = None
+        state["evaluations"] = 0
+        state["_cache"] = {}
+        state["_measurements"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -90,6 +124,48 @@ class SimulatedTarget:
             for v in self.band
         )
         return tiles + (int(threads),)
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines a measurement: the
+        cost model's fingerprint plus the noise seed/level, protocol,
+        collapse depth and energy mode.  Equal fingerprints → bit-identical
+        measurements for every canonical key, which is what licenses the
+        persistent disk cache to serve them across processes."""
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            for part in (
+                "simulated-target",
+                self.model.fingerprint(),
+                self.seed,
+                self.noise,
+                self.protocol,
+                self.collapsed,
+                self.measure_energy,
+            ):
+                h.update(repr(part).encode())
+                h.update(b"\x00")
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    # -- persistent cache --------------------------------------------------
+
+    @property
+    def has_disk_cache(self) -> bool:
+        return self.disk_cache is not None
+
+    def disk_fetch(self, key: tuple):
+        """(Objectives, Measurement) from the persistent cache, or None."""
+        if self.disk_cache is None:
+            return None
+        return self.disk_cache.fetch(self.fingerprint(), key)
+
+    def disk_store_many(
+        self, items: list[tuple[tuple, Objectives, Measurement]]
+    ) -> int:
+        """Persist freshly computed measurements; returns entries written."""
+        if self.disk_cache is None or not items:
+            return 0
+        return self.disk_cache.store_many(self.fingerprint(), items)
 
     # -- noise ----------------------------------------------------------
 
@@ -177,6 +253,10 @@ class SimulatedTarget:
         hit = self.lookup(key)
         if hit is not None:
             return hit
+        disk = self.disk_fetch(key)
+        if disk is not None:
+            self.commit(key, *disk)
+            return self.lookup(key)
         if self.protocol.overhead_s > 0:
             _time.sleep(self.protocol.overhead_s)
 
@@ -191,6 +271,7 @@ class SimulatedTarget:
             energy = true_energy * (measurement.value / true_time)
         obj = Objectives(time=measurement.value, threads=int(threads), energy=energy)
         self.commit(key, obj, measurement)
+        self.disk_store_many([(key, obj, measurement)])
         return self.lookup(key)
 
     # -- batch path -------------------------------------------------------
@@ -218,8 +299,20 @@ class SimulatedTarget:
             for b in range(len(clipped))
         ]
         pending = dict.fromkeys(k for k in keys if self.lookup(k) is None)
-        for key, result in zip(pending, self.compute_keys(list(pending))):
+        to_compute = list(pending)
+        if self.disk_cache is not None:
+            to_compute = []
+            for key in pending:
+                disk = self.disk_fetch(key)
+                if disk is not None:
+                    self.commit(key, *disk)
+                else:
+                    to_compute.append(key)
+        computed = []
+        for key, result in zip(to_compute, self.compute_keys(to_compute)):
             self.commit(key, *result)
+            computed.append((key, *result))
+        self.disk_store_many(computed)
         return np.array([self.lookup(key).time for key in keys])
 
     def cached_objectives(self, tile_sizes: dict[str, int], threads: int) -> Objectives:

@@ -84,9 +84,12 @@ class ExperimentSetup:
             )
         return self._model
 
-    def target(self, seed: int | None = None) -> SimulatedTarget:
+    def target(self, seed: int | None = None, disk_cache=None) -> SimulatedTarget:
         return SimulatedTarget(
-            self.model, seed=self.seed if seed is None else seed, noise=self.noise
+            self.model,
+            seed=self.seed if seed is None else seed,
+            noise=self.noise,
+            disk_cache=disk_cache,
         )
 
     def problem(
@@ -95,12 +98,16 @@ class ExperimentSetup:
         thread_choices: tuple[int, ...] = (),
         workers: int | str = 1,
         obs=None,
+        disk_cache=None,
+        backend: str = "thread",
     ) -> TuningProblem:
-        target = self.target(seed)
+        target = self.target(seed, disk_cache=disk_cache)
         return TuningProblem.from_skeleton(
             self.skeleton(thread_choices),
             target,
-            engine=EvaluationEngine(target, max_workers=workers, obs=obs),
+            engine=EvaluationEngine(
+                target, max_workers=workers, obs=obs, backend=backend
+            ),
             obs=obs,
         )
 

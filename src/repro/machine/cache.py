@@ -12,6 +12,7 @@ enough for the small problem sizes used in tests (~10^5..10^6 accesses).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.machine.model import CacheLevel, MachineModel
@@ -33,8 +34,12 @@ class CacheSim:
         self.line_size = line_size
         self.assoc = assoc
         self.num_sets = size // (line_size * assoc)
-        # per set: list of tags, most-recently-used last
-        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        # per set: tag → None in LRU order (least-recently-used first);
+        # an OrderedDict makes hit + move-to-end O(1) instead of the
+        # O(assoc) list scan (plus exception control flow) per access
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
         self.hits = 0
         self.misses = 0
 
@@ -44,17 +49,41 @@ class CacheSim:
         set_idx = line % self.num_sets
         tag = line // self.num_sets
         ways = self._sets[set_idx]
-        try:
-            ways.remove(tag)
-            ways.append(tag)
+        if tag in ways:
+            ways.move_to_end(tag)
             self.hits += 1
             return True
-        except ValueError:
-            self.misses += 1
-            ways.append(tag)
-            if len(ways) > self.assoc:
-                ways.pop(0)
-            return False
+        self.misses += 1
+        ways[tag] = None
+        if len(ways) > self.assoc:
+            ways.popitem(last=False)
+        return False
+
+    def access_many(self, addresses) -> int:
+        """Bulk :meth:`access` over an address iterable; returns the number
+        of hits.  Hoists the per-call attribute lookups out of the loop —
+        the fast path for trace replay."""
+        line_size = self.line_size
+        num_sets = self.num_sets
+        assoc = self.assoc
+        sets = self._sets
+        hits = 0
+        misses = 0
+        for address in addresses:
+            line = address // line_size
+            ways = sets[line % num_sets]
+            tag = line // num_sets
+            if tag in ways:
+                ways.move_to_end(tag)
+                hits += 1
+            else:
+                misses += 1
+                ways[tag] = None
+                if len(ways) > assoc:
+                    ways.popitem(last=False)
+        self.hits += hits
+        self.misses += misses
+        return hits
 
     def reset_stats(self) -> None:
         self.hits = 0
@@ -107,6 +136,41 @@ class CacheHierarchy:
                 return depth
         return len(self.levels)
 
+    def access_many(self, addresses) -> None:
+        """Bulk :meth:`access` with the per-address depth folded away:
+        identical hit/miss accounting at every level, one Python loop
+        instead of two per address."""
+        levels = self.levels
+        if len(levels) == 1:
+            levels[0].access_many(addresses)
+            return
+        first = levels[0]
+        missed = []
+        append = missed.append
+        line_size = first.line_size
+        num_sets = first.num_sets
+        assoc = first.assoc
+        sets = first._sets
+        hits = 0
+        misses = 0
+        for address in addresses:
+            line = address // line_size
+            ways = sets[line % num_sets]
+            tag = line // num_sets
+            if tag in ways:
+                ways.move_to_end(tag)
+                hits += 1
+            else:
+                misses += 1
+                ways[tag] = None
+                if len(ways) > assoc:
+                    ways.popitem(last=False)
+                append(address)
+        first.hits += hits
+        first.misses += misses
+        if missed:
+            CacheHierarchy(levels[1:]).access_many(missed)
+
     def miss_bytes(self, level_name: str) -> int:
         for level in self.levels:
             if level.name == level_name:
@@ -153,5 +217,4 @@ class AddressTraceRecorder:
         self.trace.append(self.address_of(name, indices))
 
     def replay(self, hierarchy: CacheHierarchy) -> None:
-        for addr in self.trace:
-            hierarchy.access(addr)
+        hierarchy.access_many(self.trace)

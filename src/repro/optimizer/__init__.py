@@ -29,6 +29,7 @@ from repro.optimizer.pareto import (
     non_dominated_sort,
 )
 from repro.optimizer.hypervolume import hypervolume, normalized_hypervolume
+from repro.optimizer.archive import ParetoArchive
 from repro.optimizer.config import Configuration
 from repro.optimizer.space import Boundary, ParameterSpace
 from repro.optimizer.problem import TuningProblem
@@ -53,6 +54,7 @@ __all__ = [
     "crowding_distance",
     "hypervolume",
     "normalized_hypervolume",
+    "ParetoArchive",
     "Configuration",
     "ParameterSpace",
     "Boundary",

@@ -120,13 +120,13 @@ def brute_force_search(
             evaluations=problem.evaluations - evals_before, front_size=len(front)
         )
 
-    from repro.optimizer.hypervolume import hypervolume
+    from repro.optimizer.archive import ParetoArchive
 
     record = ConvergenceRecord(
         generation=0,
         evaluations=problem.evaluations - evals_before,
         front_size=len(front),
-        hypervolume=hypervolume(objs[mask], objs.max(axis=0) * 1.1),
+        hypervolume=ParetoArchive.of(objs[mask], objs.max(axis=0) * 1.1).hypervolume,
         accepted=problem.evaluations - evals_before,
     )
     emit_generation(obs, "brute-force", record)

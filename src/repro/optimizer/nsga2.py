@@ -15,8 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import DISABLED, ConvergenceRecord, emit_generation, population_delta
+from repro.optimizer.archive import ParetoArchive
 from repro.optimizer.config import Configuration
-from repro.optimizer.hypervolume import hypervolume
 from repro.optimizer.pareto import crowding_distance, non_dominated, non_dominated_sort
 from repro.optimizer.problem import TuningProblem
 from repro.optimizer.rsgde3 import OptimizerResult, _dedupe
@@ -87,12 +87,16 @@ class NSGA2:
         accepted: int,
         dominated: int,
     ) -> ConvergenceRecord:
-        objs = np.array([c.objectives for c in pop])
+        # one staircase pass for |S| and V together — bit-identical to the
+        # non_dominated + hypervolume pair it replaces
+        front_size, hv = ParetoArchive.stats_of(
+            np.array([c.objectives for c in pop]), ref
+        )
         return ConvergenceRecord(
             generation=generation,
             evaluations=self.problem.evaluations - evals_before,
-            front_size=len(non_dominated(pop, key=lambda c: c.objectives)),
-            hypervolume=hypervolume(objs, ref),
+            front_size=front_size,
+            hypervolume=hv,
             accepted=accepted,
             dominated=dominated,
         )

@@ -11,8 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.obs import DISABLED, ConvergenceRecord, emit_generation
-from repro.optimizer.config import Configuration
-from repro.optimizer.pareto import non_dominated
+from repro.optimizer.archive import ParetoArchive
 from repro.optimizer.problem import TuningProblem
 from repro.optimizer.rsgde3 import OptimizerResult, _dedupe
 from repro.util.rng import derive_rng
@@ -38,36 +37,36 @@ def random_search(
     space = problem.space
     evals_before = problem.evaluations
 
-    from repro.optimizer.hypervolume import hypervolume
-
-    all_configs: list[Configuration] = []
+    # the running front over everything sampled so far is insert-only, the
+    # exact shape ParetoArchive handles incrementally — per-batch telemetry
+    # goes from O(n²) recomputation to O(batch · log n)
+    archive: ParetoArchive | None = None
     convergence: list[ConvergenceRecord] = []
-    ref = None
     with obs.tracer.span("optimizer.run", algorithm="random", seed=seed) as span:
         while problem.evaluations - evals_before < budget:
             before_batch = problem.evaluations
             want = budget - (problem.evaluations - evals_before)
             vectors = space.full_boundary().sample(rng, min(batch, max(want, 1)))
-            all_configs.extend(problem.evaluate_batch(vectors))
+            configs = problem.evaluate_batch(vectors)
 
-            if ref is None:
+            if archive is None:
                 # fixed hypervolume reference from the first batch (the
                 # random analogue of RS-GDE3's initial-population rule)
-                ref = np.array([c.objectives for c in all_configs]).max(axis=0) * 1.1
-            running_front = non_dominated(all_configs, key=lambda c: c.objectives)
+                ref = np.array([c.objectives for c in configs]).max(axis=0) * 1.1
+                archive = ParetoArchive(ref)
+            for c in configs:
+                archive.add(c.objectives, payload=c)
             record = ConvergenceRecord(
                 generation=len(convergence),
                 evaluations=problem.evaluations - evals_before,
-                front_size=len(_dedupe(running_front)),
-                hypervolume=hypervolume(
-                    np.array([c.objectives for c in running_front]), ref
-                ),
+                front_size=len(_dedupe(archive.front())),
+                hypervolume=archive.hypervolume,
                 accepted=problem.evaluations - before_batch,
             )
             convergence.append(record)
             emit_generation(obs, "random", record)
 
-        front = _dedupe(non_dominated(all_configs, key=lambda c: c.objectives))
+        front = _dedupe(archive.front())
         span.set(
             evaluations=problem.evaluations - evals_before, front_size=len(front)
         )

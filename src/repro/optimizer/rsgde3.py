@@ -24,9 +24,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import DISABLED, ConvergenceRecord, emit_generation, population_delta
+from repro.optimizer.archive import ParetoArchive
 from repro.optimizer.config import Configuration
-from repro.optimizer.gde3 import GDE3, GDE3Settings
 from repro.optimizer.hypervolume import hypervolume
+from repro.optimizer.gde3 import GDE3, GDE3Settings
 from repro.optimizer.pareto import non_dominated
 from repro.optimizer.problem import TuningProblem
 from repro.optimizer.roughset import rough_set_boundary
@@ -123,14 +124,12 @@ class RSGDE3:
             # fixed hypervolume normalization from the initial population
             objs0 = np.array([c.objectives for c in population])
             ref = objs0.max(axis=0) * 1.1
-            best_hv = self._front_hv(population, ref)
+            front_size, best_hv = ParetoArchive.stats_of(objs0, ref)
             convergence = [
                 ConvergenceRecord(
                     generation=0,
                     evaluations=self.problem.evaluations - evals_before,
-                    front_size=len(
-                        non_dominated(population, key=lambda c: c.objectives)
-                    ),
+                    front_size=front_size,
                     hypervolume=best_hv,
                     accepted=len(population),
                 )
@@ -147,14 +146,17 @@ class RSGDE3:
                 history.append(boundary.volume_fraction())
                 generations += 1
 
-                hv = self._front_hv(population, ref)
+                # one staircase pass replaces the non_dominated +
+                # hypervolume pair — |S| and V are bit-identical, so the
+                # stopping rule below is unchanged
+                front_size, hv = ParetoArchive.stats_of(
+                    np.array([c.objectives for c in population]), ref
+                )
                 accepted, dominated = population_delta(previous, population)
                 record = ConvergenceRecord(
                     generation=generations,
                     evaluations=self.problem.evaluations - evals_before,
-                    front_size=len(
-                        non_dominated(population, key=lambda c: c.objectives)
-                    ),
+                    front_size=front_size,
                     hypervolume=hv,
                     accepted=accepted,
                     dominated=dominated,

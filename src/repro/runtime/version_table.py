@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.backend.meta import VersionMeta
+from repro.optimizer.archive import ParetoArchive
 
 __all__ = ["Version", "VersionTable"]
 
@@ -72,3 +73,27 @@ class VersionTable:
 
     def most_efficient(self) -> Version:
         return min(self.versions, key=lambda v: v.meta.resources)
+
+    # -- front quality ---------------------------------------------------
+
+    def objective_points(self) -> np.ndarray:
+        """(time, resources) rows in version-index order."""
+        return np.array(
+            [(v.meta.time, v.meta.resources) for v in self.versions], dtype=float
+        ).reshape(-1, 2)
+
+    def archive(self, reference: np.ndarray | None = None) -> ParetoArchive:
+        """The table's versions as a :class:`ParetoArchive`, payloads being
+        the versions themselves.  The default reference is the table's own
+        objective maxima × 1.1 (the optimizers' normalization rule)."""
+        pts = self.objective_points()
+        if reference is None:
+            reference = pts.max(axis=0) * 1.1
+        archive = ParetoArchive(reference)
+        archive.add_many(pts, payloads=list(self.versions))
+        return archive
+
+    def hypervolume(self, reference: np.ndarray | None = None) -> float:
+        """Hypervolume covered by the table's versions — a one-number
+        quality indicator for a deployed multi-versioned region."""
+        return self.archive(reference).hypervolume

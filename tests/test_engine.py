@@ -376,6 +376,141 @@ class TestEngineStatsUnit:
             assert part in s
 
 
+class TestChunkedDispatch:
+    """The tentpole: chunked vectorized dispatch must be bit-identical to
+    the serial path for every (workers, chunk_size) combination, with and
+    without fault injection."""
+
+    def _reference(self, mm_model, configs):
+        target = fresh_target(mm_model, seed=21)
+        return EvaluationEngine(target).evaluate_batch(configs), target
+
+    def _configs(self, n=48):
+        rng = np.random.default_rng(7)
+        tiles = rng.integers(1, 400, size=(n, 3))
+        threads = rng.choice([1, 5, 10, 20, 40], size=n)
+        configs = [
+            ({"i": int(a), "j": int(b), "k": int(c)}, int(t))
+            for (a, b, c), t in zip(tiles, threads)
+        ]
+        return configs + configs[: n // 4]  # duplicates too
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3])
+    def test_bit_identical_for_any_chunking(self, mm_model, workers, chunk_size):
+        configs = self._configs()
+        ref, ref_target = self._reference(mm_model, configs)
+        target = fresh_target(mm_model, seed=21)
+        engine = EvaluationEngine(
+            target, max_workers=workers, chunk_size=chunk_size
+        )
+        res = engine.evaluate_batch(configs)
+        assert res.objectives == ref.objectives  # bit-identical
+        assert target.evaluations == ref_target.evaluations  # E exact
+        s = engine.stats
+        assert s.configs == s.dispatched + s.cache_hits + s.deduped + s.disk_hits
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3])
+    def test_fault_parity_under_chunking(self, mm_model, workers, chunk_size):
+        """A failed chunk retries whole, then rescues per key — the result
+        must still match the clean serial run exactly."""
+        configs = self._configs(24)
+        ref, ref_target = self._reference(mm_model, configs)
+        target = fresh_target(mm_model, seed=21)
+        engine = EvaluationEngine(
+            target,
+            max_workers=workers,
+            chunk_size=chunk_size,
+            retries=2,
+            backoff_s=0.0,
+            fault_policy=FlakyFaultPolicy(fail_attempts=1),
+        )
+        res = engine.evaluate_batch(configs)
+        assert res.objectives == ref.objectives
+        assert target.evaluations == ref_target.evaluations
+        assert engine.stats.retried > 0
+        assert engine.stats.failed == 0
+
+    def test_chunk_sizes_cover_batch_exactly(self, mm_model):
+        engine = EvaluationEngine(fresh_target(mm_model), max_workers=4)
+        keys = [(i,) for i in range(10)]
+        chunks = engine._chunks(keys)
+        assert [k for c in chunks for k in c] == keys
+        assert len(chunks) <= 4
+        assert max(len(c) for c in chunks) == 3  # ceil(10/4)
+        engine.chunk_size = 4
+        assert [len(c) for c in engine._chunks(keys)] == [4, 4, 2]
+
+    def test_single_deadline_for_stragglers(self, mm_model):
+        """n hung workers cost one timeout budget per attempt, not n
+        sequential ones: 6 configs sleeping 2 s each must clear the batch
+        (via timeout → retry → serial rescue) well before any sleep ends."""
+        target = fresh_target(mm_model)
+        engine = EvaluationEngine(
+            target,
+            max_workers=2,
+            chunk_size=1,
+            timeout_s=0.1,
+            retries=1,
+            backoff_s=0.0,
+            fault_policy=FlakyFaultPolicy(slow_attempts=2, delay_s=2.0),
+        )
+        import time as _time
+
+        t0 = _time.perf_counter()
+        res = engine.evaluate_batch(some_configs(6, duplicate_every=0))
+        elapsed = _time.perf_counter() - t0
+        assert res.new_evaluations == 6
+        assert elapsed < 2.0  # never waited out a sleeping worker
+        assert engine.stats.timeouts >= 6
+
+    def test_invalid_chunk_size_rejected(self, mm_model):
+        with pytest.raises(ValueError):
+            EvaluationEngine(fresh_target(mm_model), chunk_size=0)
+
+    def test_invalid_backend_rejected(self, mm_model):
+        with pytest.raises(ValueError):
+            EvaluationEngine(fresh_target(mm_model), backend="gpu")
+
+    def test_close_is_idempotent_for_thread_backend(self, mm_model):
+        engine = EvaluationEngine(fresh_target(mm_model), max_workers=2)
+        engine.evaluate_batch(some_configs(4, duplicate_every=0))
+        engine.close()
+        engine.close()
+
+
+class TestProcessBackend:
+    def test_bit_identical_to_serial(self, mm_model):
+        configs = [
+            ({"i": 16 * (i + 1), "j": 64, "k": 8}, 10) for i in range(24)
+        ]
+        ref_target = fresh_target(mm_model, seed=9)
+        ref = EvaluationEngine(ref_target).evaluate_batch(configs)
+        target = fresh_target(mm_model, seed=9)
+        engine = EvaluationEngine(target, max_workers=4, backend="process")
+        try:
+            res = engine.evaluate_batch(configs)
+            assert res.objectives == ref.objectives
+            assert target.evaluations == ref_target.evaluations
+            # the pool is cached across batches
+            pool = engine._process_pool
+            assert pool is not None
+            engine.evaluate_batch(configs)  # all memo hits, pool untouched
+            assert engine._process_pool is pool
+        finally:
+            engine.close()
+        assert engine._process_pool is None
+
+    def test_fault_policy_incompatible(self, mm_model):
+        with pytest.raises(ValueError):
+            EvaluationEngine(
+                fresh_target(mm_model),
+                backend="process",
+                fault_policy=FlakyFaultPolicy(),
+            )
+
+
 class TestEngineObservability:
     """evaluate_batch reports into the injected Observability handle."""
 

@@ -140,6 +140,85 @@ class TestCacheSim:
         assert c.miss_ratio == pytest.approx(0.125, rel=0.01)
 
 
+class TestAccessMany:
+    """The batched trace path must agree exactly with per-address access,
+    and the OrderedDict LRU must behave like the reference recency list."""
+
+    def _trace(self, seed, n=4000, span=16 * 1024):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        # mix of streaming and reuse so hits and evictions both happen
+        hot = rng.integers(0, 2048, size=n // 2)
+        cold = rng.integers(0, span, size=n - n // 2)
+        trace = np.concatenate([hot, cold])
+        rng.shuffle(trace)
+        return [int(a) * 8 for a in trace]
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cachesim_access_many_matches_access(self, seed):
+        trace = self._trace(seed)
+        a = CacheSim(size=4096, line_size=64, assoc=4)
+        b = CacheSim(size=4096, line_size=64, assoc=4)
+        hits = b.access_many(trace)
+        for addr in trace:
+            a.access(addr)
+        assert (b.hits, b.misses) == (a.hits, a.misses)
+        assert hits == a.hits
+        assert b.miss_bytes == a.miss_bytes
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_hierarchy_access_many_matches_access(self, seed):
+        trace = self._trace(seed)
+
+        def fresh():
+            return CacheHierarchy([
+                CacheSim(1024, 64, 2, name="L1"),
+                CacheSim(8192, 64, 4, name="L2"),
+            ])
+
+        a, b = fresh(), fresh()
+        for addr in trace:
+            a.access(addr)
+        b.access_many(trace)
+        for la, lb in zip(a.levels, b.levels):
+            assert (lb.hits, lb.misses) == (la.hits, la.misses), la.name
+
+    def test_single_level_hierarchy_access_many(self):
+        trace = self._trace(5)
+        a = CacheHierarchy([CacheSim(2048, 64, 2, name="L1")])
+        b = CacheHierarchy([CacheSim(2048, 64, 2, name="L1")])
+        for addr in trace:
+            a.access(addr)
+        b.access_many(trace)
+        assert b.levels[0].hits == a.levels[0].hits
+
+    def test_lru_matches_reference_model(self):
+        """Property check of the OrderedDict recency bookkeeping against a
+        brute-force list-based LRU over adversarial same-set traffic."""
+        import numpy as np
+
+        sim = CacheSim(size=512, line_size=64, assoc=4)  # 2 sets, 4 ways
+        sets = {0: [], 1: []}  # reference: most recent last
+        rng = np.random.default_rng(9)
+        for tag in rng.integers(0, 12, size=2000):
+            addr = int(tag) * 64
+            line = addr // 64
+            ref = sets[line % 2]
+            expected_hit = line in ref
+            if expected_hit:
+                ref.remove(line)
+            elif len(ref) == 4:
+                ref.pop(0)
+            ref.append(line)
+            assert sim.access(addr) == expected_hit, addr
+
+    def test_access_many_empty(self):
+        c = CacheSim(size=1024, line_size=64, assoc=2)
+        assert c.access_many([]) == 0
+        assert c.accesses == 0
+
+
 class TestHierarchy:
     def test_miss_propagation(self):
         h = CacheHierarchy([
