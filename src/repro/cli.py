@@ -8,6 +8,7 @@
     python -m repro tune mm --size N=700 --energy --optimizer rsgde3 --json out.json
     python -m repro tune mm --trace out.jsonl --metrics
     python -m repro tune-file kernel.c --size N=1400 --machine barcelona
+    python -m repro tune-file program.c --multiregion --size N=800 --workers 8
     python -m repro trace out.jsonl
 
 The ``tune`` commands run the full pipeline (analysis → RS-GDE3 →
@@ -140,6 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="tune (time, resources, energy) instead of (time, resources)",
         )
+        p.add_argument(
+            "--multiregion",
+            action="store_true",
+            help="tune every region of the program simultaneously through "
+            "the fused cross-region scheduler (one shared worker pool, "
+            "program runs amortized across regions); rsgde3 only",
+        )
+        p.add_argument(
+            "--pipeline",
+            action="store_true",
+            help="with --multiregion: let a region that finishes its "
+            "generation early run up to one generation ahead of slower "
+            "regions (results stay bit-identical)",
+        )
         p.add_argument("--emit-c", metavar="FILE", help="write multi-versioned C here")
         p.add_argument("--json", metavar="FILE", help="write the result as JSON here")
 
@@ -267,6 +282,11 @@ def _cmd_tune(args, out) -> int:
     )
     sizes = _parse_sizes(args.size)
 
+    if args.multiregion:
+        return _cmd_tune_multiregion(args, out, machine, obs, driver, sizes)
+    if args.pipeline:
+        raise SystemExit("--pipeline requires --multiregion")
+
     if args.command == "tune":
         tuned = driver.tune_kernel(
             args.kernel,
@@ -338,6 +358,94 @@ def _cmd_tune(args, out) -> int:
             "kernel": tuned.name,
             "machine": machine.name,
             "optimizer": args.optimizer,
+            "seed": args.seed,
+            "workers": str(args.workers),
+        },
+        out=out,
+    )
+    return 0
+
+
+def _cmd_tune_multiregion(args, out, machine, obs, driver, sizes) -> int:
+    """``tune --multiregion`` / ``tune-file --multiregion``: all regions
+    of the program at once through the fused cross-region scheduler."""
+    if args.optimizer != "rsgde3":
+        raise SystemExit(
+            f"--multiregion tunes with rsgde3 only (got --optimizer {args.optimizer})"
+        )
+    if args.energy:
+        raise SystemExit("--multiregion does not support --energy yet")
+    if args.emit_c:
+        raise SystemExit("--multiregion does not support --emit-c yet")
+
+    if args.command == "tune":
+        from repro.frontend.kernels import get_kernel
+
+        kernel = get_kernel(args.kernel)
+        fn, merged, name = kernel.function, kernel.sizes(sizes or None), args.kernel
+    else:
+        from repro.frontend.parser import parse_function
+
+        if not sizes:
+            raise SystemExit(
+                "tune-file requires --size bindings for the symbolic extents"
+            )
+        fn = parse_function(Path(args.path).read_text())
+        merged, name = sizes, fn.name
+
+    result = driver.tune_multiregion(
+        fn, merged, run_seed=args.seed, pipeline=args.pipeline
+    )
+
+    print(f"{name} on {machine.name}: {len(result.results)} regions", file=out)
+    print(result.summary(), file=out)
+    if args.engine_stats and result.engine_stats is not None:
+        print(f"engine: workers={args.workers} {result.engine_stats.summary()}", file=out)
+        if driver.disk_cache is not None:
+            print(driver.disk_cache.summary(), file=out)
+
+    if args.json:
+        payload = {
+            "kernel": name,
+            "machine": machine.name,
+            "optimizer": args.optimizer,
+            "multiregion": True,
+            "pipeline": args.pipeline,
+            "program_runs": result.program_runs,
+            "generations": result.generations,
+            "sharing_factor": result.sharing_factor,
+            "regions": [
+                {
+                    "evaluations": r.evaluations,
+                    "generations": r.generations,
+                    "front": [
+                        {
+                            "values": dict(c.values),
+                            "objectives": list(c.objectives),
+                        }
+                        for c in r.front
+                    ],
+                }
+                for r in result.results
+            ],
+        }
+        if result.engine_stats is not None:
+            payload["engine"] = {
+                "workers": str(args.workers),
+                **result.engine_stats.as_dict(),
+            }
+        Path(args.json).write_text(json.dumps(payload, indent=1))
+        print(f"wrote {args.json}", file=out)
+
+    _finish_obs(
+        args,
+        obs,
+        meta={
+            "command": args.command,
+            "kernel": name,
+            "machine": machine.name,
+            "optimizer": args.optimizer,
+            "multiregion": "true",
             "seed": args.seed,
             "workers": str(args.workers),
         },

@@ -266,6 +266,36 @@ class TuningDriver:
         """Tune an IR function directly."""
         return self._tune(fn, sizes, optimizer=optimizer, run_seed=run_seed)
 
+    def tune_multiregion(
+        self,
+        fn: Function,
+        sizes: dict[str, int],
+        run_seed: int = 0,
+        pipeline: bool = False,
+        kernel: Kernel | None = None,
+    ):
+        """Tune every region of *fn* simultaneously through the fused
+        cross-region scheduler (``--multiregion``): one shared evaluation
+        session drains all regions' generation batches together, on this
+        driver's machine/workers/backend/cache configuration."""
+        from repro.driver.multiregion import MultiRegionTuner
+
+        tuner = MultiRegionTuner(
+            function=fn,
+            sizes=sizes,
+            machine=self.machine,
+            settings=self.settings,
+            seed=self.seed,
+            noise=self.noise,
+            kernel=kernel,
+            workers=self.workers,
+            backend=self.backend,
+            pipeline=pipeline,
+            disk_cache=self.disk_cache,
+            obs=self.obs,
+        )
+        return tuner.run(seed=run_seed)
+
     # ------------------------------------------------------------------
 
     def make_problem(

@@ -5,17 +5,32 @@ sets of configurations for each of the regions ... During the evaluation, a
 single execution of the resulting program is sufficient to obtain
 measurements for all simultaneously tuned regions."
 
-:class:`MultiRegionTuner` coordinates one RS-GDE3 instance per region in
-lock-step: each program generation, every region proposes its GDE3 trials;
-the trials are zipped into *program runs* (run ``b`` executes trial ``b`` of
-every region at once); the per-region measurements feed the per-region
-selections and rough-set updates.  A region whose stopping criterion fired
-keeps participating with its current configurations (cache hits — no new
-measurement cost) until all regions are done.
+:class:`MultiRegionTuner` coordinates one RS-GDE3 instance per region.  Two
+evaluation paths produce bit-identical results:
 
-The payoff is the ledger: ``program_runs`` grows by ``max_r |trials_r|`` per
-generation instead of ``Σ_r |trials_r|`` — tuning jacobi-2d's two spatial
-regions costs barely more program executions than tuning one.
+* :meth:`MultiRegionTuner.run_lockstep` — the serial reference: each
+  program generation, every region proposes its GDE3 trials, the trials
+  are evaluated region by region, then every region selects.  This is the
+  loop the scheduler is verified against (and the benchmark baseline).
+
+* :meth:`MultiRegionTuner.run` — the cross-region scheduler: every active
+  region's generation batch is fused into **one shared**
+  :class:`~repro.evaluation.parallel_eval.EvaluationEngine` session, so
+  the worker pool drains all regions' trials together instead of idling
+  between per-region barriers.  Identical cost-model fingerprints dedup
+  across regions (one dispatch serves every region that shares one, each
+  still committing to its own ledger).  With ``pipeline=True`` a region
+  whose selection finishes early proposes its next generation while
+  slower regions' chunks are still in flight, bounded to one generation
+  of lag (``pipeline=False`` keeps the lock-step barrier on the same code
+  path).  Because measurement noise is hash-derived per key and regions
+  are data-independent, fronts, per-region ``E`` and ``program_runs`` are
+  bit-identical for any worker count, chunk size or completion
+  interleaving.
+
+The payoff is the ledger: ``program_runs`` grows by ``max_r |trials_r|``
+per generation instead of ``Σ_r |trials_r|`` — tuning jacobi-2d's two
+spatial regions costs barely more program executions than tuning one.
 """
 
 from __future__ import annotations
@@ -24,14 +39,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.analysis.regions import TunableRegion, extract_regions
+from repro.analysis.regions import extract_regions
 from repro.evaluation.cost import RegionCostModel
+from repro.evaluation.measurements import MeasurementProtocol
+from repro.evaluation.parallel_eval import EngineStats, EvaluationEngine, FusedBatch
 from repro.evaluation.simulator import SimulatedTarget
 from repro.frontend.kernels import Kernel
 from repro.ir.nodes import Function
 from repro.machine.model import MachineModel, WESTMERE
+from repro.obs import (
+    DISABLED,
+    ConvergenceRecord,
+    Observability,
+    emit_generation,
+    population_delta,
+)
+from repro.optimizer.archive import ParetoArchive
 from repro.optimizer.gde3 import GDE3
-from repro.optimizer.hypervolume import hypervolume
 from repro.optimizer.pareto import non_dominated
 from repro.optimizer.problem import TuningProblem
 from repro.optimizer.roughset import rough_set_boundary
@@ -44,17 +68,20 @@ __all__ = ["MultiRegionTuner", "MultiRegionResult"]
 
 @dataclass(frozen=True)
 class MultiRegionResult:
-    """Outcome of one lock-step multi-region tuning run.
+    """Outcome of one multi-region tuning run.
 
     :param results: per-region optimizer results (fronts + per-region E).
     :param program_runs: distinct program executions spent — the shared
         cost; compare against ``sum(r.evaluations for r in results)``,
         which is what separate tuning would have paid.
+    :param engine_stats: aggregated evaluation accounting across every
+        region's batches (None for runs predating the scheduler).
     """
 
     results: tuple[OptimizerResult, ...]
     program_runs: int
     generations: int
+    engine_stats: EngineStats | None = None
 
     @property
     def total_region_evaluations(self) -> int:
@@ -67,6 +94,133 @@ class MultiRegionResult:
             return 1.0
         return self.total_region_evaluations / self.program_runs
 
+    def summary(self) -> str:
+        """Human-readable per-region table plus the shared-cost totals."""
+        lines = [
+            f"{'region':>6}  {'|S|':>4}  {'E':>6}  {'generations':>11}",
+        ]
+        for idx, res in enumerate(self.results):
+            lines.append(
+                f"{idx:>6}  {res.size:>4}  {res.evaluations:>6}  "
+                f"{res.generations:>11}"
+            )
+        lines.append(
+            f"program runs: {self.program_runs}  "
+            f"(Σ region E = {self.total_region_evaluations}, "
+            f"sharing ×{self.sharing_factor:.2f})"
+        )
+        return "\n".join(lines)
+
+
+class _RegionState:
+    """One region's optimizer state inside the cross-region scheduler.
+
+    Every mutation of this state depends only on the region's own RNG
+    stream and its own measured objectives — never on sibling timing —
+    which is what makes the scheduler's results independent of worker
+    count and completion order.
+    """
+
+    def __init__(self, idx: int, problem: TuningProblem, settings, seed: int):
+        self.idx = idx
+        self.problem = problem
+        self.settings = settings
+        self.optimizer = GDE3(problem, settings.gde3)
+        self.rng = derive_rng(seed, "multiregion", idx)
+        self.full = problem.space.full_boundary()
+        self.boundary = self.full
+        self.population = None
+        self.ref: np.ndarray | None = None
+        self.best_hv = 0.0
+        self.stalled = 0
+        self.gen = -1  # last fully absorbed generation (-1: nothing yet)
+        self.finished = False
+        self.records: list[ConvergenceRecord] = []
+        self.evals_before = problem.evaluations
+        # in-flight bookkeeping
+        self.batch: FusedBatch | None = None
+        self.values_list: list[dict[str, int]] | None = None
+
+    # -- propose / absorb: the two halves of one generation ---------------
+
+    def propose(self, engine: EvaluationEngine) -> None:
+        """Draw this region's next batch (initial sample or GDE3 trials)
+        and enqueue it into the fused session."""
+        if self.population is None:
+            vectors = self.full.sample(
+                self.rng, self.settings.gde3.population_size
+            )
+        else:
+            vectors = self.optimizer.propose(
+                self.population, self.boundary, self.rng
+            )
+        self.values_list, configs = self.problem.batch_configs(vectors)
+        self.batch = engine.fused_submit(
+            self.problem.target, configs, region=str(self.idx)
+        )
+
+    def absorb(self, obs: Observability) -> None:
+        """Fold the drained batch back into the optimizer state: select,
+        rough-set update, telemetry, stall check."""
+        trial_configs = self.problem.make_configurations(
+            self.values_list, self.batch.objectives
+        )
+        self.batch = None
+        self.values_list = None
+        self.gen += 1
+
+        if self.population is None:
+            self.population = trial_configs
+            objs0 = np.array([c.objectives for c in self.population])
+            self.ref = objs0.max(axis=0) * 1.1
+            front_size, self.best_hv = ParetoArchive.stats_of(objs0, self.ref)
+            record = ConvergenceRecord(
+                generation=0,
+                evaluations=self.problem.evaluations - self.evals_before,
+                front_size=front_size,
+                hypervolume=self.best_hv,
+                accepted=len(self.population),
+            )
+        else:
+            previous = self.population
+            self.population = self.optimizer.select(self.population, trial_configs)
+            accepted, dominated = population_delta(previous, self.population)
+            front_size, hv = ParetoArchive.stats_of(
+                np.array([c.objectives for c in self.population]), self.ref
+            )
+            record = ConvergenceRecord(
+                generation=self.gen,
+                evaluations=self.problem.evaluations - self.evals_before,
+                front_size=front_size,
+                hypervolume=hv,
+                accepted=accepted,
+                dominated=dominated,
+            )
+            if hv > self.best_hv * (1.0 + self.settings.hv_epsilon):
+                self.best_hv = hv
+                self.stalled = 0
+            else:
+                self.stalled += 1
+                if self.stalled >= self.settings.patience:
+                    self.finished = True
+        self.boundary = rough_set_boundary(
+            self.population, self.full, protect=self.settings.protect
+        )
+        self.records.append(record)
+        emit_generation(obs, f"multiregion[{self.idx}]", record)
+        if self.gen >= self.settings.max_generations:
+            self.finished = True
+
+    def result(self, generations: int) -> OptimizerResult:
+        front = _dedupe(non_dominated(self.population, key=lambda c: c.objectives))
+        return OptimizerResult(
+            front=tuple(front),
+            evaluations=self.problem.evaluations - self.evals_before,
+            generations=generations,
+            hv_history=tuple((r.evaluations, r.hypervolume) for r in self.records),
+            convergence=tuple(self.records),
+        )
+
 
 @dataclass
 class MultiRegionTuner:
@@ -74,7 +228,20 @@ class MultiRegionTuner:
 
     :param function: the program (e.g. jacobi-2d with two spatial nests).
     :param sizes: problem-size bindings.
-    :param machine: simulated target platform.
+    :param machine: simulated target platform (callers that tune for a
+        specific machine must pass it — the WESTMERE default exists for
+        machine-agnostic tests and examples only).
+    :param workers: shared evaluation workers for :meth:`run`; 1 keeps
+        the whole pipeline serial (still fused, still bit-identical).
+    :param chunk_size: per-worker chunk size forwarded to the engine.
+    :param backend: ``"thread"`` or ``"process"`` evaluation workers.
+    :param pipeline: allow one generation of cross-region lag in
+        :meth:`run` (off = lock-step barrier on the same code path).
+    :param protocol: measurement protocol handed to every region target
+        (the benchmark injects per-configuration overhead through this).
+    :param disk_cache: persistent measurement cache shared by all
+        region targets.
+    :param obs: observability handle (scheduler spans + metrics).
     """
 
     function: Function
@@ -84,6 +251,13 @@ class MultiRegionTuner:
     seed: int = 0
     noise: float = 0.015
     kernel: Kernel | None = None
+    workers: int | str = 1
+    chunk_size: int | None = None
+    backend: str = "thread"
+    pipeline: bool = False
+    protocol: MeasurementProtocol | None = None
+    disk_cache: object | None = None
+    obs: Observability | None = None
 
     def _build_problems(self) -> list[TuningProblem]:
         regions = extract_regions(self.function)
@@ -100,93 +274,144 @@ class MultiRegionTuner:
                 self.machine,
                 parallel_spec=skeleton.parallel_spec(),
             )
-            target = SimulatedTarget(model, seed=self.seed, noise=self.noise)
+            target = SimulatedTarget(
+                model,
+                seed=self.seed,
+                noise=self.noise,
+                protocol=self.protocol,
+                disk_cache=self.disk_cache,
+            )
             problems.append(TuningProblem.from_skeleton(skeleton, target))
         return problems
 
+    # -- fused cross-region scheduler ----------------------------------
+
     def run(self, seed: int = 0) -> MultiRegionResult:
+        """Tune all regions through one shared evaluation session.
+
+        Every region's generation batch lands in the same work queue;
+        the pool stays busy until the whole generation drains.  Results
+        are bit-identical to :meth:`run_lockstep` for any ``workers``,
+        ``chunk_size``, ``backend`` and ``pipeline`` setting.
+        """
+        obs = self.obs or DISABLED
         problems = self._build_problems()
-        k = len(problems)
-        optimizers = [GDE3(p, self.settings.gde3) for p in problems]
-        rngs = [derive_rng(seed, "multiregion", i) for i in range(k)]
-        fulls = [p.space.full_boundary() for p in problems]
-
-        program_runs = 0
-        populations = []
-        for idx, (opt, full, rng) in enumerate(zip(optimizers, fulls, rngs)):
-            populations.append(opt.initial_population(full, rng))
-        # the initial samples are drawn simultaneously as well: one program
-        # run evaluates one configuration of every region
-        program_runs += self.settings.gde3.population_size
-
-        boundaries = [
-            rough_set_boundary(pop, full, protect=self.settings.protect)
-            for pop, full in zip(populations, fulls)
+        states = [
+            _RegionState(i, p, self.settings, seed)
+            for i, p in enumerate(problems)
         ]
-        refs = [
-            np.array([c.objectives for c in pop]).max(axis=0) * 1.1
-            for pop in populations
-        ]
-        best_hv = [self._front_hv(pop, ref) for pop, ref in zip(populations, refs)]
-        stalled = [0] * k
-        active = [True] * k
-
-        generations = 0
-        while any(active) and generations < self.settings.max_generations:
-            # propose trials for active regions; finished regions re-submit
-            # their current population (ledger cache hits, no new cost)
-            trial_vectors: list[np.ndarray] = []
-            for idx in range(k):
-                if active[idx]:
-                    trial_vectors.append(
-                        optimizers[idx].propose(populations[idx], boundaries[idx], rngs[idx])
-                    )
-                else:
-                    names = problems[idx].space.names
-                    trial_vectors.append(
-                        np.stack([c.vector(names) for c in populations[idx]])
-                    )
-
-            # zip into program runs: run b executes every region's trial b
-            program_runs += max(len(t) for t in trial_vectors)
-
-            for idx in range(k):
-                if not active[idx]:
-                    continue
-                trial_configs = problems[idx].evaluate_batch(trial_vectors[idx])
-                populations[idx] = optimizers[idx].select(populations[idx], trial_configs)
-                boundaries[idx] = rough_set_boundary(
-                    populations[idx], fulls[idx], protect=self.settings.protect
-                )
-                hv = self._front_hv(populations[idx], refs[idx])
-                if hv > best_hv[idx] * (1.0 + self.settings.hv_epsilon):
-                    best_hv[idx] = hv
-                    stalled[idx] = 0
-                else:
-                    stalled[idx] += 1
-                    if stalled[idx] >= self.settings.patience:
-                        active[idx] = False
-            generations += 1
-
-        results = []
-        for idx in range(k):
-            front = _dedupe(
-                non_dominated(populations[idx], key=lambda c: c.objectives)
-            )
-            results.append(
-                OptimizerResult(
-                    front=tuple(front),
-                    evaluations=problems[idx].evaluations,
-                    generations=generations,
-                )
-            )
-        return MultiRegionResult(
-            results=tuple(results),
-            program_runs=program_runs,
-            generations=generations,
+        by_region = {str(st.idx): st for st in states}
+        max_lag = 1 if self.pipeline else 0
+        engine = EvaluationEngine(
+            problems[0].target,
+            max_workers=self.workers,
+            backend=self.backend,
+            chunk_size=self.chunk_size,
+            obs=obs,
         )
 
-    @staticmethod
-    def _front_hv(population, ref) -> float:
-        objs = np.array([c.objectives for c in population])
-        return hypervolume(objs, ref)
+        with obs.tracer.span(
+            "scheduler.run",
+            regions=len(states),
+            workers=self.workers,
+            pipeline=self.pipeline,
+        ) as span:
+            try:
+                for st in states:  # everyone's initial sample, fused
+                    st.propose(engine)
+                while any(st.batch is not None for st in states):
+                    for batch in engine.fused_wait():
+                        by_region[batch.region].absorb(obs)
+                    running = [st for st in states if not st.finished]
+                    if not running:
+                        continue  # drain stragglers, nothing new to submit
+                    # bounded lag: a region may run ahead of the slowest
+                    # unfinished region by at most max_lag generations
+                    min_gen = min(st.gen for st in running)
+                    for st in running:
+                        if st.batch is None and st.gen - min_gen <= max_lag:
+                            st.propose(engine)
+                stats = _clone_stats(engine.stats)
+            finally:
+                engine.close()
+
+            generations = max(st.gen for st in states)
+            program_runs = self.settings.gde3.population_size * (1 + generations)
+            span.set(
+                generations=generations,
+                program_runs=program_runs,
+                shared_hits=stats.shared_hits,
+            )
+
+        return MultiRegionResult(
+            results=tuple(st.result(generations) for st in states),
+            program_runs=program_runs,
+            generations=generations,
+            engine_stats=stats,
+        )
+
+    # -- serial lock-step reference ------------------------------------
+
+    def run_lockstep(self, seed: int = 0) -> MultiRegionResult:
+        """The serial per-region loop the scheduler is verified against
+        (and the wall-clock baseline of the multi-region benchmark)."""
+        obs = self.obs or DISABLED
+        problems = self._build_problems()
+        states = [
+            _RegionState(i, p, self.settings, seed)
+            for i, p in enumerate(problems)
+        ]
+        stats = EngineStats()
+
+        for st in states:
+            vectors = st.full.sample(st.rng, self.settings.gde3.population_size)
+            st.values_list, configs = st.problem.batch_configs(vectors)
+            result = st.problem.evaluation_engine.evaluate_batch(configs)
+            st.batch = _as_fused(result)
+            st.absorb(obs)
+
+        while any(not st.finished for st in states):
+            for st in states:
+                if st.finished:
+                    continue
+                vectors = st.optimizer.propose(st.population, st.boundary, st.rng)
+                st.values_list, configs = st.problem.batch_configs(vectors)
+                result = st.problem.evaluation_engine.evaluate_batch(configs)
+                st.batch = _as_fused(result)
+                st.absorb(obs)
+
+        for st in states:
+            stats.merge(st.problem.evaluation_engine.stats)
+        generations = max(st.gen for st in states)
+        program_runs = self.settings.gde3.population_size * (1 + generations)
+        return MultiRegionResult(
+            results=tuple(st.result(generations) for st in states),
+            program_runs=program_runs,
+            generations=generations,
+            engine_stats=stats,
+        )
+
+
+def _as_fused(result) -> FusedBatch:
+    """Wrap a plain BatchResult so _RegionState.absorb can consume either
+    evaluation path."""
+    return FusedBatch(
+        region="",
+        target=None,
+        fp="",
+        keys=[],
+        order=[],
+        needs=set(),
+        compute=[],
+        stats=result.stats,
+        t0=0.0,
+        objectives=result.objectives,
+        done=True,
+    )
+
+
+def _clone_stats(stats: EngineStats) -> EngineStats:
+    """Snapshot the engine's cumulative accounting before it is closed."""
+    out = EngineStats()
+    out.merge(stats)
+    return out

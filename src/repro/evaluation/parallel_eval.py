@@ -44,6 +44,18 @@ persists freshly computed chunks after the commit stage, so repeated runs
 perform zero model evaluations for already-cached configurations while
 ``E`` stays exact.
 
+Besides the blocking single-target :meth:`EvaluationEngine.evaluate_batch`,
+the engine offers a **fused session** for multi-region tuning
+(:meth:`fused_submit` / :meth:`fused_wait`): several regions' generation
+batches — each against its *own* target — share one persistent worker pool,
+are deduplicated **across regions** by target fingerprint (equal
+fingerprints ⇒ one computation serves every region, counted as
+``shared_hits``; each consuming region still commits to its own ledger, so
+per-region ``E`` is exactly what separate evaluation would have produced),
+and commit deterministically in per-batch order as soon as each batch's
+results drain.  The cross-region scheduler in
+:mod:`repro.driver.multiregion` is the consumer.
+
 ``BatchEvaluator`` remains as a backwards-compatible alias.
 """
 
@@ -52,7 +64,12 @@ from __future__ import annotations
 import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field, fields
 
 from repro.evaluation.measurements import Measurement
@@ -64,6 +81,7 @@ __all__ = [
     "EvaluationEngine",
     "EngineStats",
     "BatchResult",
+    "FusedBatch",
     "FaultPolicy",
     "FlakyFaultPolicy",
     "InjectedFault",
@@ -141,9 +159,10 @@ class FlakyFaultPolicy(FaultPolicy):
 class EngineStats:
     """Evaluation-engine accounting (cumulative or per batch).
 
-    ``configs = dispatched + cache_hits + deduped + disk_hits`` always
-    holds; ``E`` grows by exactly ``new_evaluations`` (disk hits commit to
-    the ledger too, so E is identical between cold and warm disk caches).
+    ``configs = dispatched + cache_hits + deduped + disk_hits +
+    shared_hits`` always holds; ``E`` grows by exactly
+    ``new_evaluations`` (disk hits commit to the ledger too, so E is
+    identical between cold and warm disk caches).
     """
 
     batches: int = 0
@@ -156,6 +175,9 @@ class EngineStats:
     deduped: int = 0
     #: configurations served from the persistent on-disk cache
     disk_hits: int = 0
+    #: configurations served by another region's computation in a fused
+    #: session (equal target fingerprints ⇒ shared measurement)
+    shared_hits: int = 0
     #: ledger commits (== dispatched unless an external caller raced)
     new_evaluations: int = 0
     #: retry attempts after pooled failures/timeouts
@@ -177,7 +199,7 @@ class EngineStats:
             f"batches={self.batches} configs={self.configs} "
             f"dispatched={self.dispatched} cache_hits={self.cache_hits} "
             f"deduped={self.deduped} disk_hits={self.disk_hits} "
-            f"retried={self.retried} "
+            f"shared_hits={self.shared_hits} retried={self.retried} "
             f"failed={self.failed} wall={self.wall_time_s:.3f}s"
         )
 
@@ -192,6 +214,38 @@ class BatchResult:
     objectives: tuple[Objectives, ...]
     new_evaluations: int
     stats: EngineStats | None = None
+
+
+@dataclass
+class FusedBatch:
+    """One region's in-flight batch inside a fused evaluation session.
+
+    Returned by :meth:`EvaluationEngine.fused_submit`; once
+    :meth:`EvaluationEngine.fused_wait` hands it back, :attr:`objectives`
+    holds the results in submission order and :attr:`stats` the batch's
+    accounting.
+
+    :param region: caller-chosen label (trace events carry it).
+    :param fp: the target's measurement fingerprint — the cross-region
+        dedup key: equal fingerprints measure identically, so one
+        computation serves every region that shares one.
+    """
+
+    region: str
+    target: SimulatedTarget
+    fp: str
+    #: every submitted canonical key, input order
+    keys: list[tuple]
+    #: the unique ledger-miss keys this batch commits, in batch order
+    order: list[tuple]
+    #: session-result entries that must exist before the batch can commit
+    needs: set[tuple]
+    #: keys this batch dispatched itself (persisted to disk after commit)
+    compute: list[tuple]
+    stats: EngineStats
+    t0: float
+    objectives: tuple[Objectives, ...] | None = None
+    done: bool = False
 
 
 class EvaluationEngine:
@@ -264,6 +318,12 @@ class EvaluationEngine:
         self._degraded = False
         self._strikes = 0
         self._process_pool: ProcessPoolExecutor | None = None
+        # fused-session state (multi-target cross-region scheduling)
+        self._fused_pool = None
+        self._fused_pending: list[FusedBatch] = []
+        self._fused_futures: dict = {}
+        self._fused_results: dict[tuple[str, tuple], tuple] = {}
+        self._fused_inflight: set[tuple[str, tuple]] = set()
 
     # ------------------------------------------------------------------
 
@@ -278,11 +338,15 @@ class EvaluationEngine:
         self._strikes = 0
 
     def close(self) -> None:
-        """Release the cached process pool (no-op for the thread backend,
-        whose pools are per batch)."""
+        """Release the cached process pool and the fused-session pool
+        (the single-target thread backend's pools are per batch)."""
         if self._process_pool is not None:
             self._process_pool.shutdown(wait=False, cancel_futures=True)
             self._process_pool = None
+        if self._fused_pool is not None:
+            self._fused_pool.shutdown(wait=False, cancel_futures=True)
+            self._fused_pool = None
+        self.fused_reset()
 
     # ------------------------------------------------------------------
 
@@ -379,6 +443,10 @@ class EvaluationEngine:
             "repro_engine_disk_hits_total",
             "configurations served from the persistent disk cache",
         ).inc(batch.disk_hits)
+        m.counter(
+            "repro_engine_shared_hits_total",
+            "configurations served by a sibling region's computation",
+        ).inc(batch.shared_hits)
         m.counter(
             "repro_engine_retries_total", "retry attempts after pooled failures"
         ).inc(batch.retried)
@@ -494,33 +562,35 @@ class EvaluationEngine:
         )
 
     def _compute_chunk(
-        self, keys: tuple[tuple, ...], attempt: int
+        self, keys: tuple[tuple, ...], attempt: int, target=None
     ) -> list[tuple[Objectives, Measurement]]:
         """Pure chunk computation (worker body): one vectorized
         ``compute_keys`` call per chunk; a fault on any key fails the whole
-        chunk (its keys are retried together, then rescued per key)."""
+        chunk (its keys are retried together, then rescued per key).
+        *target* defaults to the engine's own; the fused session passes
+        each batch's region target explicitly."""
         if self.fault_policy is not None:
             for key in keys:
                 self.fault_policy.check(key, attempt, False)
-        return self.target.compute_keys(list(keys))
+        return (target or self.target).compute_keys(list(keys))
 
     def _compute_one(
-        self, key: tuple, attempt: int, serial: bool
+        self, key: tuple, attempt: int, serial: bool, target=None
     ) -> tuple[Objectives, Measurement]:
         """Pure per-configuration computation (rescue body)."""
         if self.fault_policy is not None:
             self.fault_policy.check(key, attempt, serial)
-        return self.target.compute_keys([key])[0]
+        return (target or self.target).compute_keys([key])[0]
 
     def _rescue(
-        self, key: tuple, batch: EngineStats, first_attempt: int
+        self, key: tuple, batch: EngineStats, first_attempt: int, target=None
     ) -> tuple[Objectives, Measurement]:
         """Serial computation with bounded retries; the last line of
         defence — raises :class:`EvaluationError` if even this fails."""
         last_error: Exception | None = None
         for attempt in range(first_attempt, first_attempt + self.retries + 1):
             try:
-                return self._compute_one(key, attempt, serial=True)
+                return self._compute_one(key, attempt, serial=True, target=target)
             except Exception as exc:  # noqa: BLE001 — deliberate catch-all
                 last_error = exc
                 batch.retried += 1
@@ -528,6 +598,195 @@ class EvaluationEngine:
         raise EvaluationError(
             f"configuration {key} failed after {self.retries + 1} serial attempts"
         ) from last_error
+
+    # -- fused multi-target session (cross-region scheduling) --------------
+    #
+    # Several regions' batches — each against its own target — share one
+    # persistent pool.  Dedup happens at three levels: within the batch
+    # (deduped), against the batch's own ledger (cache_hits), and across
+    # the whole session by target fingerprint (shared_hits: a key another
+    # region computed, fetched from disk, or still has in flight).  The
+    # coordinator thread owns all session state — workers only ever run
+    # the pure compute_keys, so no locking beyond the targets' commit
+    # locks is needed.  Commits are per batch, in batch order, as soon as
+    # a batch's results have drained; results are therefore bit-identical
+    # for any worker count, chunk size, or completion interleaving.
+
+    @property
+    def fused_active(self) -> bool:
+        """Whether the fused session has undrained batches."""
+        return bool(self._fused_pending)
+
+    def fused_reset(self) -> None:
+        """Drop all fused-session state (pending batches, shared results).
+
+        Call between independent runs; the worker pool itself survives
+        until :meth:`close`."""
+        self._fused_pending.clear()
+        self._fused_futures.clear()
+        self._fused_results.clear()
+        self._fused_inflight.clear()
+
+    def fused_submit(
+        self,
+        target: SimulatedTarget,
+        configs: list[tuple[dict[str, int], int]],
+        region: str = "",
+    ) -> FusedBatch:
+        """Enqueue one region's batch into the fused session.
+
+        Dedups against the batch itself, *target*'s ledger, the session's
+        shared results, and sibling in-flight chunks; dispatches only the
+        cold remainder as ``ceil(B/workers)`` chunks onto the shared pool.
+        Returns immediately — :meth:`fused_wait` delivers the batch once
+        its results (own chunks plus awaited sibling keys) are in.
+        """
+        fp = target.fingerprint()
+        keys = [target.config_key(tiles, thr) for tiles, thr in configs]
+        bstats = EngineStats(batches=1, configs=len(keys))
+
+        pending: dict[tuple, None] = {}
+        for key in keys:
+            if key in pending:
+                bstats.deduped += 1
+            elif target.lookup(key) is not None:
+                bstats.cache_hits += 1
+            else:
+                pending[key] = None
+        order = list(pending)
+
+        compute: list[tuple] = []
+        for key in order:
+            gk = (fp, key)
+            if gk in self._fused_results:
+                bstats.shared_hits += 1
+            elif gk in self._fused_inflight:
+                bstats.shared_hits += 1
+            elif getattr(target, "has_disk_cache", False) and (
+                disk := target.disk_fetch(key)
+            ) is not None:
+                self._fused_results[gk] = disk
+                bstats.disk_hits += 1
+            else:
+                compute.append(key)
+        bstats.dispatched = len(compute)
+
+        batch = FusedBatch(
+            region=region,
+            target=target,
+            fp=fp,
+            keys=keys,
+            order=order,
+            needs={(fp, key) for key in order},
+            compute=compute,
+            stats=bstats,
+            t0=time.perf_counter(),
+        )
+        for chunk in self._chunks(compute):
+            future = self._fused_submit_chunk(chunk, target)
+            self._fused_futures[future] = (fp, chunk, batch)
+            self._fused_inflight.update((fp, key) for key in chunk)
+        self._fused_pending.append(batch)
+        return batch
+
+    def fused_wait(self) -> list[FusedBatch]:
+        """Block until at least one pending batch is complete; commit and
+        return every complete batch (submission order).  Returns ``[]``
+        only when nothing is pending.
+
+        A failed chunk is rescued per key serially in the caller's thread
+        (bounded retries, then :class:`EvaluationError`) — the fused path
+        trades the pooled retry/timeout dance for deterministic inline
+        rescue, since one straggler would stall every region behind it.
+        """
+        t0 = time.perf_counter()
+        while True:
+            ready = [
+                b
+                for b in self._fused_pending
+                if b.needs.issubset(self._fused_results.keys())
+            ]
+            if ready or not self._fused_futures:
+                break
+            done, _ = wait(set(self._fused_futures), return_when=FIRST_COMPLETED)
+            for future in done:
+                fp, chunk, owner = self._fused_futures.pop(future)
+                try:
+                    chunk_results = future.result()
+                except Exception:
+                    owner.stats.failed += len(chunk)
+                    chunk_results = [
+                        self._rescue(
+                            key, owner.stats, first_attempt=2, target=owner.target
+                        )
+                        for key in chunk
+                    ]
+                for key, result in zip(chunk, chunk_results):
+                    self._fused_results[(fp, key)] = result
+                    self._fused_inflight.discard((fp, key))
+
+        m = self.obs.metrics
+        m.gauge(
+            "repro_scheduler_inflight_chunks",
+            "fused-session worker chunks currently in flight",
+        ).set(len(self._fused_futures))
+        m.histogram(
+            "repro_scheduler_drain_seconds",
+            "coordinator wait time per fused drain",
+        ).observe(time.perf_counter() - t0)
+
+        for batch in ready:
+            self._fused_commit(batch)
+            self._fused_pending.remove(batch)
+        return ready
+
+    def _fused_submit_chunk(self, chunk: tuple[tuple, ...], target):
+        pool = self._fused_pool
+        if pool is None:
+            if self.backend == "process":
+                pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            else:
+                pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-fused",
+                )
+            self._fused_pool = pool
+        if self.backend == "process":
+            # the target pickles only its pure measurement state, so
+            # shipping it per chunk costs one small pickle, no ledger
+            return pool.submit(_proc_compute_target, target, chunk)
+        return pool.submit(self._compute_chunk, chunk, 1, target)
+
+    def _fused_commit(self, batch: FusedBatch) -> None:
+        """Single-writer commit of one complete batch, in batch order."""
+        for key in batch.order:
+            obj, measurement = self._fused_results[(batch.fp, key)]
+            if batch.target.commit(key, obj, measurement):
+                batch.stats.new_evaluations += 1
+        if batch.compute and getattr(batch.target, "has_disk_cache", False):
+            batch.target.disk_store_many(
+                [
+                    (key, *self._fused_results[(batch.fp, key)])
+                    for key in batch.compute
+                ]
+            )
+        batch.objectives = tuple(batch.target.lookup(key) for key in batch.keys)
+        batch.stats.wall_time_s = time.perf_counter() - batch.t0
+        batch.done = True
+        self.obs.tracer.event(
+            "scheduler.batch",
+            region=batch.region,
+            configs=batch.stats.configs,
+            dispatched=batch.stats.dispatched,
+            cache_hits=batch.stats.cache_hits,
+            deduped=batch.stats.deduped,
+            shared_hits=batch.stats.shared_hits,
+            disk_hits=batch.stats.disk_hits,
+            new_evaluations=batch.stats.new_evaluations,
+            latency_s=batch.stats.wall_time_s,
+        )
+        self._observe_batch(batch.stats)
+        self.stats.merge(batch.stats)
 
 
 # -- process-backend worker half ------------------------------------------
@@ -549,6 +808,15 @@ def _proc_init(target: SimulatedTarget) -> None:
 def _proc_compute(keys: tuple[tuple, ...]) -> list[tuple[Objectives, Measurement]]:
     assert _PROC_TARGET is not None, "worker process was not initialized"
     return _PROC_TARGET.compute_keys(list(keys))
+
+
+def _proc_compute_target(
+    target: SimulatedTarget, keys: tuple[tuple, ...]
+) -> list[tuple[Objectives, Measurement]]:
+    """Fused-session process worker: the session serves many targets, so no
+    single target can be pinned at pool init — each chunk ships its own
+    (the pickle carries only pure measurement state, no ledger)."""
+    return target.compute_keys(list(keys))
 
 
 #: Backwards-compatible alias — the old BatchEvaluator interface

@@ -148,6 +148,32 @@ def _engine_table(records: list[dict]) -> str | None:
     return t.render()
 
 
+def _scheduler_table(records: list[dict]) -> str | None:
+    """Per-region accounting of a fused cross-region session, from the
+    ``scheduler.batch`` events the engine emits at each batch commit."""
+    events = _events(records, "scheduler.batch")
+    if not events:
+        return None
+    keys = ("configs", "dispatched", "cache_hits", "deduped", "shared_hits")
+    by_region: dict[str, dict] = {}
+    for e in events:
+        a = e.get("attrs", {})
+        row = by_region.setdefault(
+            str(a.get("region", "?")), {"batches": 0, **{k: 0 for k in keys}}
+        )
+        row["batches"] += 1
+        for k in keys:
+            row[k] += int(a.get(k, 0))
+    t = Table(
+        ["region", "batches", *keys],
+        title="Cross-region scheduler",
+    )
+    for region in sorted(by_region):
+        row = by_region[region]
+        t.add_row([region, row["batches"], *[row[k] for k in keys]])
+    return t.render()
+
+
 def _selection_table(records: list[dict]) -> str | None:
     events = _events(records, "runtime.selection")
     if not events:
@@ -186,6 +212,7 @@ def summarize_trace(records: list[dict]) -> str:
         _phase_table(records),
         _convergence_table(records),
         _engine_table(records),
+        _scheduler_table(records),
         _selection_table(records),
     ):
         if section is not None:

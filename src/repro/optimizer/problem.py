@@ -119,17 +119,34 @@ class TuningProblem:
     def evaluate_vector(self, vec: np.ndarray) -> Configuration:
         return self.evaluate(self.space.to_dict(vec))
 
+    def batch_configs(
+        self, vectors: np.ndarray
+    ) -> tuple[list[dict[str, int]], list[tuple[dict[str, int], int]]]:
+        """Decode (B, dim) parameter vectors into the per-row value dicts
+        and the ``(tile_sizes, threads)`` pairs an evaluation engine
+        consumes — the front half of :meth:`evaluate_batch`, exposed so a
+        cross-region scheduler can route the engine call itself."""
+        vectors = np.asarray(vectors)
+        values_list = [self.space.to_dict(row) for row in vectors]
+        configs = [self.split_values(values) for values in values_list]
+        return values_list, configs
+
+    def make_configurations(
+        self, values_list: list[dict[str, int]], objectives
+    ) -> list[Configuration]:
+        """Pair decoded value dicts with their measured objectives — the
+        back half of :meth:`evaluate_batch`."""
+        out = []
+        for values, obj in zip(values_list, objectives):
+            vec = obj.vector3() if self.tri_objective else obj.vector()
+            out.append(Configuration.make(values, vec))
+        return out
+
     def evaluate_batch(self, vectors: np.ndarray) -> list[Configuration]:
         """Evaluate (B, dim) parameter vectors through the evaluation
         engine — the paper's parallel evaluation of each generation's
         configurations (dedup → dispatch to workers → serial commit).
         """
-        vectors = np.asarray(vectors)
-        values_list = [self.space.to_dict(row) for row in vectors]
-        configs = [self.split_values(values) for values in values_list]
+        values_list, configs = self.batch_configs(vectors)
         result = self.evaluation_engine.evaluate_batch(configs)
-        out = []
-        for values, obj in zip(values_list, result.objectives):
-            vec = obj.vector3() if self.tri_objective else obj.vector()
-            out.append(Configuration.make(values, vec))
-        return out
+        return self.make_configurations(values_list, result.objectives)

@@ -233,3 +233,96 @@ class TestReportTelemetry:
         assert len(rows) >= 2
         first = rows[0].split("|")
         assert first[1].strip() == "0"  # generation 0 kept by the subsample
+
+
+class TestMultiRegionCLI:
+    TWIN = """
+    void twins(int N, double A[N][N], double B[N][N]) {
+        for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++)
+                B[i][j] += 2.0 * A[i][j];
+        for (int i = 0; i < N; i++)
+            for (int j = 0; j < N; j++)
+                B[i][j] += 2.0 * A[i][j];
+    }
+    """
+
+    def test_tune_multiregion_kernel(self, tmp_path):
+        json_path = tmp_path / "mr.json"
+        code, text = run_cli(
+            "tune", "jacobi2d",
+            "--multiregion",
+            "--size", "N=500", "--size", "T=5",
+            "--workers", "4",
+            "--engine-stats",
+            "--json", str(json_path),
+        )
+        assert code == 0
+        assert "2 regions" in text
+        assert "program runs" in text
+        assert "shared_hits" in text
+        payload = json.loads(json_path.read_text())
+        assert payload["multiregion"] is True
+        assert payload["program_runs"] > 0
+        assert len(payload["regions"]) == 2
+        assert all(r["evaluations"] > 0 for r in payload["regions"])
+        eng = payload["engine"]
+        assert eng["configs"] == (
+            eng["dispatched"] + eng["cache_hits"] + eng["deduped"]
+            + eng["disk_hits"] + eng["shared_hits"]
+        )
+
+    def test_tune_file_multiregion_shares_across_twins(self, tmp_path):
+        src = tmp_path / "twins.c"
+        src.write_text(self.TWIN)
+        json_path = tmp_path / "mr.json"
+        code, text = run_cli(
+            "tune-file", str(src),
+            "--multiregion", "--pipeline",
+            "--size", "N=500",
+            "--workers", "4",
+            "--json", str(json_path),
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["pipeline"] is True
+        assert payload["engine"]["shared_hits"] > 0
+
+    def test_multiregion_trace(self, tmp_path):
+        trace = tmp_path / "mr.jsonl"
+        code, _ = run_cli(
+            "tune", "jacobi2d",
+            "--multiregion",
+            "--size", "N=500", "--size", "T=5",
+            "--trace", str(trace),
+        )
+        assert code == 0
+        code, text = run_cli("trace", str(trace))
+        assert code == 0
+        assert "Cross-region scheduler" in text
+        assert "shared_hits" in text
+
+    def test_pipeline_requires_multiregion(self):
+        with pytest.raises(SystemExit):
+            run_cli("tune", "jacobi2d", "--pipeline")
+
+    def test_multiregion_rejects_energy(self):
+        with pytest.raises(SystemExit):
+            run_cli("tune", "jacobi2d", "--multiregion", "--energy")
+
+    def test_multiregion_rejects_emit_c(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "tune", "jacobi2d", "--multiregion",
+                "--emit-c", str(tmp_path / "x.c"),
+            )
+
+    def test_multiregion_rejects_other_optimizers(self):
+        with pytest.raises(SystemExit):
+            run_cli("tune", "jacobi2d", "--multiregion", "--optimizer", "nsga2")
+
+    def test_tune_file_multiregion_requires_sizes(self, tmp_path):
+        src = tmp_path / "twins.c"
+        src.write_text(self.TWIN)
+        with pytest.raises(SystemExit):
+            run_cli("tune-file", str(src), "--multiregion")

@@ -540,3 +540,151 @@ class TestEngineObservability:
         assert m["repro_engine_cache_hits_total"] == 6
         assert m["repro_engine_batch_seconds"]["count"] == 2
         assert obs.tracer.records() == []  # tracing stayed off
+
+
+class TestFusedSession:
+    """The multi-target fused session: several regions' batches share one
+    pool, dedup by fingerprint, and commit deterministically."""
+
+    def drain(self, engine):
+        done = []
+        while engine.fused_active:
+            done.extend(engine.fused_wait())
+        return done
+
+    def test_single_batch_matches_evaluate_batch(self, mm_model):
+        configs = some_configs(9, duplicate_every=3)
+        ref_target = fresh_target(mm_model)
+        ref = EvaluationEngine(ref_target).evaluate_batch(configs)
+
+        target = fresh_target(mm_model)
+        engine = EvaluationEngine(target, max_workers=4)
+        batch = engine.fused_submit(target, configs, region="r0")
+        self.drain(engine)
+        engine.close()
+        assert batch.done
+        assert batch.objectives == ref.objectives
+        assert target.evaluations == ref_target.evaluations
+        assert batch.stats.deduped == ref.stats.deduped
+        assert batch.stats.dispatched == ref.stats.dispatched
+
+    @pytest.mark.parametrize("workers", [1, 4, 8])
+    def test_two_targets_bit_identical(self, mm_model, workers):
+        refs = []
+        for seed in (0, 1):
+            t = fresh_target(mm_model, seed=seed)
+            refs.append(
+                (t, EvaluationEngine(t).evaluate_batch(some_configs(12)))
+            )
+
+        targets = [fresh_target(mm_model, seed=s) for s in (0, 1)]
+        engine = EvaluationEngine(targets[0], max_workers=workers)
+        batches = [
+            engine.fused_submit(t, some_configs(12), region=str(i))
+            for i, t in enumerate(targets)
+        ]
+        self.drain(engine)
+        engine.close()
+        for batch, target, (ref_t, ref) in zip(batches, targets, refs):
+            assert batch.objectives == ref.objectives
+            assert target.evaluations == ref_t.evaluations
+
+    def test_equal_fingerprints_share_one_dispatch(self, mm_model):
+        a = fresh_target(mm_model)
+        b = fresh_target(mm_model)
+        assert a.fingerprint() == b.fingerprint()
+        engine = EvaluationEngine(a, max_workers=4)
+        ba = engine.fused_submit(a, some_configs(10, duplicate_every=0), region="a")
+        bb = engine.fused_submit(b, some_configs(10, duplicate_every=0), region="b")
+        self.drain(engine)
+        engine.close()
+        assert ba.objectives == bb.objectives
+        assert ba.stats.dispatched == 10 and ba.stats.shared_hits == 0
+        assert bb.stats.dispatched == 0 and bb.stats.shared_hits == 10
+        # the shared computation still commits to b's own ledger
+        assert b.evaluations == 10
+        for stats in (ba.stats, bb.stats):
+            assert stats.configs == (
+                stats.dispatched
+                + stats.cache_hits
+                + stats.deduped
+                + stats.disk_hits
+                + stats.shared_hits
+            )
+
+    def test_session_results_persist_across_generations(self, mm_model):
+        """A key computed generations ago is still served as shared_hits."""
+        a = fresh_target(mm_model)
+        b = fresh_target(mm_model)
+        engine = EvaluationEngine(a, max_workers=2)
+        engine.fused_submit(a, some_configs(6, duplicate_every=0), region="a")
+        self.drain(engine)
+        later = engine.fused_submit(b, some_configs(6, duplicate_every=0), region="b")
+        self.drain(engine)
+        engine.close()
+        assert later.stats.shared_hits == 6
+        assert later.stats.dispatched == 0
+
+    def test_failed_chunk_rescued_serially(self, mm_model):
+        target = fresh_target(mm_model)
+        policy = FlakyFaultPolicy(fail_attempts=1)
+        ref_target = fresh_target(mm_model)
+        ref = EvaluationEngine(ref_target).evaluate_batch(some_configs(8))
+
+        engine = EvaluationEngine(
+            target, max_workers=4, fault_policy=policy, backoff_s=0.0
+        )
+        batch = engine.fused_submit(target, some_configs(8), region="r")
+        self.drain(engine)
+        engine.close()
+        assert batch.objectives == ref.objectives
+        assert batch.stats.failed > 0
+
+    def test_process_backend(self, mm_model):
+        targets = [fresh_target(mm_model, seed=s) for s in (0, 1)]
+        refs = [
+            EvaluationEngine(fresh_target(mm_model, seed=s)).evaluate_batch(
+                some_configs(8)
+            )
+            for s in (0, 1)
+        ]
+        engine = EvaluationEngine(targets[0], max_workers=2, backend="process")
+        batches = [
+            engine.fused_submit(t, some_configs(8), region=str(i))
+            for i, t in enumerate(targets)
+        ]
+        self.drain(engine)
+        engine.close()
+        for batch, ref in zip(batches, refs):
+            assert batch.objectives == ref.objectives
+
+    def test_fused_reset_clears_state(self, mm_model):
+        target = fresh_target(mm_model)
+        engine = EvaluationEngine(target, max_workers=2)
+        engine.fused_submit(target, some_configs(5), region="r")
+        self.drain(engine)
+        assert engine._fused_results
+        engine.fused_reset()
+        assert not engine._fused_results and not engine.fused_active
+        engine.close()
+
+    def test_scheduler_batch_events_and_metrics(self, mm_model):
+        from repro.obs import Observability
+
+        obs = Observability.tracing()
+        target = fresh_target(mm_model)
+        engine = EvaluationEngine(target, max_workers=2, obs=obs)
+        engine.fused_submit(target, some_configs(9, duplicate_every=3), region="r7")
+        self.drain(engine)
+        engine.close()
+        events = [
+            r
+            for r in obs.tracer.records()
+            if r["type"] == "event" and r["name"] == "scheduler.batch"
+        ]
+        assert len(events) == 1
+        attrs = events[0]["attrs"]
+        assert attrs["region"] == "r7"
+        assert attrs["configs"] == 9
+        m = obs.metrics.as_dict()
+        assert m["repro_scheduler_drain_seconds"]["count"] >= 1

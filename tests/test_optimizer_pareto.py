@@ -8,11 +8,14 @@ from hypothesis import given, settings, strategies as st
 
 from repro.optimizer.hypervolume import hypervolume, normalized_hypervolume
 from repro.optimizer.pareto import (
+    _non_dominated_mask_general,
+    _non_dominated_mask_general_scalar,
     crowding_distance,
     dominates,
     non_dominated,
     non_dominated_mask,
     non_dominated_sort,
+    pairwise_dominance,
 )
 
 obj_vectors = st.lists(
@@ -244,3 +247,77 @@ class TestNormalizedHypervolume:
         pts = np.array([[1.0, 5.0]])
         v = normalized_hypervolume(pts, np.array([1.0, 0.0]), np.array([1.0, 10.0]))
         assert 0.0 <= v <= 1.0
+
+
+class TestPairwiseDominance:
+    """The broadcasted row-aligned dominance must agree with the scalar
+    dominates() in both directions on every row."""
+
+    @given(obj_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar_both_directions(self, pts):
+        rng = np.random.default_rng(len(pts))
+        a = np.array(pts, dtype=float)
+        b = rng.permutation(a)
+        a_dom, b_dom = pairwise_dominance(a, b)
+        for i in range(len(a)):
+            assert bool(a_dom[i]) == dominates(a[i], b[i])
+            assert bool(b_dom[i]) == dominates(b[i], a[i])
+
+    def test_equal_rows_dominate_neither_way(self):
+        a = np.array([[1.0, 2.0], [3.0, 3.0]])
+        a_dom, b_dom = pairwise_dominance(a, a.copy())
+        assert not a_dom.any() and not b_dom.any()
+
+    def test_three_objectives(self):
+        a = np.array([[1.0, 2.0, 3.0], [1.0, 1.0, 1.0], [2.0, 2.0, 2.0]])
+        b = np.array([[1.0, 2.0, 4.0], [2.0, 2.0, 2.0], [1.0, 1.0, 1.0]])
+        a_dom, b_dom = pairwise_dominance(a, b)
+        assert a_dom.tolist() == [True, True, False]
+        assert b_dom.tolist() == [False, False, True]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_dominance(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestVectorizedGeneralMask:
+    """The blocked broadcasted general-m mask is output-identical to the
+    retired per-row sweep it replaced."""
+
+    @pytest.mark.parametrize("n", [1, 7, 255, 256, 257, 700])
+    def test_matches_scalar_reference(self, n):
+        rng = np.random.default_rng(n)
+        objs = rng.uniform(0.0, 10.0, size=(n, 3))
+        fast = _non_dominated_mask_general(objs)
+        slow = _non_dominated_mask_general_scalar(objs)
+        assert np.array_equal(fast, slow)
+
+    def test_duplicates_all_retained(self):
+        objs = np.array([[1.0, 2.0, 3.0]] * 4 + [[0.5, 2.5, 3.0]])
+        mask = _non_dominated_mask_general(objs)
+        assert mask.tolist() == [True] * 5
+
+    def test_dominated_duplicates_all_dropped(self):
+        objs = np.array([[2.0, 2.0, 2.0]] * 3 + [[1.0, 1.0, 1.0]])
+        mask = _non_dominated_mask_general(objs)
+        assert mask.tolist() == [False, False, False, True]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),
+                st.floats(min_value=0.0, max_value=5.0),
+                st.floats(min_value=0.0, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_parity(self, pts):
+        objs = np.array(pts, dtype=float)
+        assert np.array_equal(
+            _non_dominated_mask_general(objs),
+            _non_dominated_mask_general_scalar(objs),
+        )
