@@ -44,7 +44,7 @@ from scipy.special import ndtri
 from repro.evaluation.cost import RegionCostModel
 from repro.evaluation.measurements import Measurement, MeasurementProtocol
 from repro.evaluation.objectives import Objectives
-from repro.util.rng import spawn_seed
+from repro.util.rng import seed_hasher, spawn_seed, spawn_seed_from
 from repro.util.stats import median
 
 __all__ = ["SimulatedTarget"]
@@ -179,6 +179,26 @@ class SimulatedTarget:
         )
         return np.exp(self.noise * ndtri(u))
 
+    def _noise_factor_matrix(self, keys: Sequence[tuple], reps: int) -> np.ndarray:
+        """(len(keys), reps) lognormal factors in one batch.
+
+        Bit-identical to stacking :meth:`_noise_factors` per key (asserted
+        by ``tests/test_evaluation.py``): the seed prefix is hashed once and
+        forked per (key, repetition) suffix — the same byte stream blake2b
+        sees in :func:`~repro.util.rng.spawn_seed` — and the inverse-CDF /
+        exp transform runs elementwise over the whole matrix.
+        """
+        prefix = seed_hasher(self.seed)
+        u = np.empty((len(keys), reps), dtype=float)
+        for i, key in enumerate(keys):
+            key_prefix = prefix.copy()
+            key_prefix.update(b"\x00")
+            key_prefix.update(repr(key).encode())
+            row = u[i]
+            for rep in range(reps):
+                row[rep] = (spawn_seed_from(key_prefix, rep) + 0.5) / _U64
+        return np.exp(self.noise * ndtri(u))
+
     # -- pure computation (no ledger mutation) ----------------------------
 
     def compute_keys(
@@ -197,15 +217,25 @@ class SimulatedTarget:
             return []
         tiles = np.array([k[:-1] for k in keys], dtype=np.int64)
         threads = np.array([k[-1] for k in keys], dtype=np.int64)
-        true_times = self.model.time_batch(tiles, threads, collapsed=self.collapsed)
+        true_times = np.asarray(
+            self.model.time_batch(tiles, threads, collapsed=self.collapsed)
+        )
         reps = self.protocol.repetitions
         overhead = self.protocol.overhead_s
+        if overhead > 0:
+            # the simulated pipeline latency is per configuration no matter
+            # how the batch is chunked
+            _time.sleep(overhead * len(keys))
+        # one hash-derived factor matrix + one median sweep for the whole
+        # chunk: the per-key loop below only assembles result objects
+        factors = self._noise_factor_matrix(keys, reps)
+        samples = true_times[:, None] * factors
+        medians = np.median(samples, axis=1)
         out = []
-        for key, true_time in zip(keys, true_times):
-            if overhead > 0:
-                _time.sleep(overhead)
-            samples = tuple(true_time * self._noise_factors(key, reps))
-            measurement = Measurement(value=median(samples), samples=samples)
+        for b, key in enumerate(keys):
+            measurement = Measurement(
+                value=float(medians[b]), samples=tuple(samples[b])
+            )
             energy = None
             if self.measure_energy:
                 # energy measurements share the run's jitter: scale the
@@ -214,7 +244,7 @@ class SimulatedTarget:
                 true_energy = self.model.energy(
                     tile_map, int(key[-1]), collapsed=self.collapsed
                 )
-                energy = true_energy * (measurement.value / true_time)
+                energy = true_energy * (measurement.value / true_times[b])
             obj = Objectives(
                 time=measurement.value, threads=int(key[-1]), energy=energy
             )

@@ -9,10 +9,14 @@ application-specific policies — the default being the weighted-sum rule of
 * :mod:`repro.runtime.selection` — selection policies,
 * :mod:`repro.runtime.scheduler` — region executor with dynamic
   re-selection on context changes (available cores, energy budgets),
-* :mod:`repro.runtime.monitor` — execution history and system state.
+* :mod:`repro.runtime.monitor` — execution history and system state,
+* :mod:`repro.runtime.compiled` — deterministic policies folded into
+  constant-time precompiled selections,
+* :mod:`repro.runtime.serving` — high-throughput dispatch of a request
+  stream across worker threads.
 """
 
-from repro.runtime.version_table import Version, VersionTable
+from repro.runtime.version_table import Version, VersionColumns, VersionTable
 from repro.runtime.selection import (
     EfficiencyFloorPolicy,
     EnergyCapPolicy,
@@ -25,13 +29,27 @@ from repro.runtime.selection import (
     WeightedSumPolicy,
     policy_by_name,
 )
+from repro.runtime.compiled import (
+    CompiledSelection,
+    FixedSelection,
+    ThreadCapSelection,
+    compile_policy,
+)
 from repro.runtime.scheduler import RegionExecutor
 from repro.runtime.tasks import Task, WorkStealingPool
 from repro.runtime.online import BanditSelector
-from repro.runtime.monitor import ExecutionRecord, RuntimeMonitor
+from repro.runtime.monitor import ExecutionRecord, MonitorShard, RuntimeMonitor
+from repro.runtime.serving import (
+    DispatchEngine,
+    DispatchRequest,
+    DispatchResult,
+    Workload,
+    generate_workload,
+)
 
 __all__ = [
     "Version",
+    "VersionColumns",
     "VersionTable",
     "SelectionPolicy",
     "WeightedSumPolicy",
@@ -43,10 +61,20 @@ __all__ = [
     "GreenestPolicy",
     "EnergyCapPolicy",
     "policy_by_name",
+    "CompiledSelection",
+    "FixedSelection",
+    "ThreadCapSelection",
+    "compile_policy",
     "RegionExecutor",
     "Task",
     "WorkStealingPool",
     "BanditSelector",
     "RuntimeMonitor",
+    "MonitorShard",
     "ExecutionRecord",
+    "DispatchEngine",
+    "DispatchRequest",
+    "DispatchResult",
+    "Workload",
+    "generate_workload",
 ]

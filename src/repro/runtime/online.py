@@ -12,12 +12,23 @@ and minimizes observed time with UCB1 (or ε-greedy) on top of the metadata
 prior.  It composes with :class:`~repro.runtime.scheduler.RegionExecutor`
 as a policy: exploration happens on real invocations, and the observed
 medians can be folded back via ``executor.recalibrate()``.
+
+Statistics live in NumPy arrays (counts / running means / Welford M2 per
+arm) guarded by one lock, so the serving loop can feed observations from
+many worker threads without losing a single count, and :meth:`select`
+computes every arm's UCB score in **one** vectorized expression instead of
+a per-arm Python loop.  :meth:`select_scalar` keeps the per-arm loop
+in-tree as the differential oracle — both paths read the same statistics
+through the same floating-point operations, so their selection sequences
+are identical.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.runtime.selection import SelectionPolicy
 from repro.runtime.version_table import Version, VersionTable
@@ -39,7 +50,9 @@ class BanditSelector(SelectionPolicy):
     :param seed: randomness for ε-greedy exploration.
 
     Feed observations with :meth:`observe` (the executor's recorded wall
-    time); :meth:`select` then balances exploitation and exploration.
+    time) or in bulk with :meth:`observe_many`; :meth:`select` then
+    balances exploitation and exploration.  Thread-safe: concurrent
+    ``observe``/``select`` calls never lose an observation and never raise.
     """
 
     strategy: str = "ucb1"
@@ -47,30 +60,71 @@ class BanditSelector(SelectionPolicy):
     exploration: float = 0.5
     prior_weight: float = 1.0
     seed: int = 0
-    _counts: dict[int, int] = field(default_factory=dict)
-    _sums: dict[int, float] = field(default_factory=dict)
-    _total: int = 0
 
     def __post_init__(self) -> None:
         if self.strategy not in ("ucb1", "epsilon"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
         self._rng = derive_rng(self.seed, "bandit")
+        self._lock = threading.Lock()
+        # per-arm statistics, slot-indexed; _slots maps version index -> slot
+        self._slots: dict[int, int] = {}
+        self._counts = np.zeros(0, dtype=np.int64)
+        self._means = np.zeros(0, dtype=float)
+        self._m2 = np.zeros(0, dtype=float)
+        self._total = 0
+        # cached alignment of a table's version order onto slots; the
+        # epoch bumps whenever a new arm appears
+        self._epoch = 0
+        self._aligned: tuple[tuple[Version, ...], int, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
+
+    def _slot_locked(self, version_index: int) -> int:
+        slot = self._slots.get(version_index)
+        if slot is None:
+            slot = len(self._slots)
+            self._slots[version_index] = slot
+            grown = slot + 1
+            for name in ("_counts", "_means", "_m2"):
+                old = getattr(self, name)
+                new = np.zeros(grown, dtype=old.dtype)
+                new[: len(old)] = old
+                setattr(self, name, new)
+            self._epoch += 1
+        return slot
+
+    def _observe_locked(self, version_index: int, wall_time: float) -> None:
+        slot = self._slot_locked(version_index)
+        self._counts[slot] += 1
+        delta = wall_time - self._means[slot]
+        self._means[slot] += delta / self._counts[slot]
+        self._m2[slot] += delta * (wall_time - self._means[slot])
+        self._total += 1
 
     def observe(self, version_index: int, wall_time: float) -> None:
         """Record one production measurement of a version."""
         if wall_time <= 0:
             raise ValueError("wall time must be positive")
-        self._counts[version_index] = self._counts.get(version_index, 0) + 1
-        self._sums[version_index] = self._sums.get(version_index, 0.0) + wall_time
-        self._total += 1
+        with self._lock:
+            self._observe_locked(version_index, wall_time)
+
+    def observe_many(self, version_indices, wall_times) -> None:
+        """Record a batch of measurements under a single lock acquisition."""
+        pairs = list(zip(version_indices, wall_times))
+        if any(wall <= 0 for _, wall in pairs):
+            raise ValueError("wall time must be positive")
+        with self._lock:
+            for idx, wall in pairs:
+                self._observe_locked(int(idx), float(wall))
+
+    # -- statistics ------------------------------------------------------
 
     def mean_time(self, version: Version) -> float:
         """Posterior-mean time: metadata prior blended with observations."""
-        idx = version.meta.index
-        n = self._counts.get(idx, 0)
-        s = self._sums.get(idx, 0.0)
+        with self._lock:
+            slot = self._slots.get(version.meta.index)
+            n = int(self._counts[slot]) if slot is not None else 0
+            s = n * self._means[slot] if slot is not None else 0.0
         w = self.prior_weight
         denom = n + w
         if denom <= 0:
@@ -78,28 +132,105 @@ class BanditSelector(SelectionPolicy):
         return (s + w * version.meta.time) / denom
 
     def observations(self, version_index: int) -> int:
-        return self._counts.get(version_index, 0)
+        with self._lock:
+            slot = self._slots.get(version_index)
+            return int(self._counts[slot]) if slot is not None else 0
+
+    def statistics(self) -> dict[int, tuple[int, float, float]]:
+        """``version index -> (count, mean, M2)`` snapshot."""
+        with self._lock:
+            return {
+                idx: (
+                    int(self._counts[slot]),
+                    float(self._means[slot]),
+                    float(self._m2[slot]),
+                )
+                for idx, slot in self._slots.items()
+            }
 
     # ------------------------------------------------------------------
+
+    def _alignment(self, table: VersionTable) -> np.ndarray:
+        """Slot of each table position (-1 = never observed), cached per
+        (versions tuple, arm epoch)."""
+        cached = self._aligned
+        if (
+            cached is not None
+            and cached[0] is table.versions
+            and cached[1] == self._epoch
+        ):
+            return cached[2]
+        slots = np.array(
+            [self._slots.get(v.meta.index, -1) for v in table.versions],
+            dtype=np.int64,
+        )
+        self._aligned = (table.versions, self._epoch, slots)
+        return slots
+
+    def _snapshot(self, table: VersionTable) -> tuple[np.ndarray, np.ndarray, int]:
+        """(counts, sums) aligned to table order plus the grand total,
+        captured atomically."""
+        with self._lock:
+            slots = self._alignment(table)
+            if self._counts.size == 0:
+                zeros = np.zeros(len(slots), dtype=np.int64)
+                return zeros, np.zeros(len(slots)), self._total
+            observed = slots >= 0
+            safe = np.where(observed, slots, 0)
+            counts = np.where(observed, self._counts[safe], 0)
+            sums = np.where(observed, counts * self._means[safe], 0.0)
+            return counts, sums, self._total
+
+    def _scores(self, table: VersionTable) -> np.ndarray:
+        """Every arm's UCB score in one vectorized expression."""
+        cols = table.columns()
+        prior = cols.times
+        scale = prior.max() - prior.min()
+        scale = scale or prior.max() or 1.0
+        counts, sums, total = self._snapshot(table)
+        w = self.prior_weight
+        n = counts + w
+        means = (sums + w * prior) / n
+        bonus = self.exploration * scale * np.sqrt(
+            2 * np.log(max(1, total) + 1) / n
+        )
+        return means - bonus
 
     def select(self, table: VersionTable, context: dict | None = None) -> Version:
         if self.strategy == "epsilon":
             if self._rng.random() < self.epsilon:
                 versions = list(table)
                 return versions[int(self._rng.integers(len(versions)))]
-            return min(table, key=self.mean_time)
+            counts, sums, _ = self._snapshot(table)
+            w = self.prior_weight
+            means = (sums + w * table.columns().times) / (counts + w)
+            return table.versions[int(np.argmin(means))]
+        return table.versions[int(np.argmin(self._scores(table)))]
 
-        # UCB1 on negated time, scaled by the table's time spread
-        scale = max(v.meta.time for v in table) - min(v.meta.time for v in table)
-        scale = scale or max(v.meta.time for v in table) or 1.0
-        total = max(1, self._total)
-
-        def score(v: Version) -> float:
-            n = self._counts.get(v.meta.index, 0) + self.prior_weight
-            bonus = self.exploration * scale * math.sqrt(2 * math.log(total + 1) / n)
-            return self.mean_time(v) - bonus
-
-        return min(table, key=score)
+    def select_scalar(self, table: VersionTable, context: dict | None = None) -> Version:
+        """Per-arm scoring loop — the differential oracle for
+        :meth:`select`.  Reads the same statistics through the same
+        floating-point operations, one arm at a time; the chosen version is
+        always identical to the vectorized path."""
+        if self.strategy == "epsilon":
+            return self.select(table, context)
+        cols = table.columns()
+        prior = cols.times
+        scale = prior.max() - prior.min()
+        scale = scale or prior.max() or 1.0
+        counts, sums, total = self._snapshot(table)
+        w = self.prior_weight
+        best, best_pos = None, 0
+        for pos in range(len(table.versions)):
+            n = counts[pos] + w
+            mean = (sums[pos] + w * prior[pos]) / n
+            bonus = self.exploration * scale * np.sqrt(
+                2 * np.log(max(1, total) + 1) / n
+            )
+            score = mean - bonus
+            if best is None or score < best:
+                best, best_pos = score, pos
+        return table.versions[best_pos]
 
     def describe(self) -> str:
         return f"bandit({self.strategy}, n={self._total})"

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import DISABLED, Observability
+from repro.runtime.compiled import CompiledSelection, compile_policy
 from repro.runtime.monitor import RuntimeMonitor
 from repro.runtime.selection import SelectionPolicy, WeightedSumPolicy
 from repro.runtime.version_table import Version, VersionTable
@@ -34,19 +35,54 @@ class RegionExecutor:
     :param obs: observability handle — every decision becomes a
         ``runtime.selection`` event (policy, context, chosen version,
         predicted vs. actual time).
+    :param compiled: use the precompiled selection path when the policy
+        supports it (deterministic policies); disable to force the scalar
+        per-call oracle everywhere.
+
+    Deterministic policies are compiled against the frozen table once and
+    every subsequent decision replays the stored result; the cache is keyed
+    on the identity of both the policy object and the table's versions
+    tuple, so :meth:`set_policy` and :meth:`recalibrate` (which builds a new
+    table) invalidate it without any explicit bookkeeping.
     """
 
     table: VersionTable
     policy: SelectionPolicy = field(default_factory=WeightedSumPolicy)
     monitor: RuntimeMonitor = field(default_factory=RuntimeMonitor)
     obs: Observability | None = None
+    compiled: bool = True
+
+    def __post_init__(self) -> None:
+        self._compiled_policy: SelectionPolicy | None = None
+        self._compiled_versions: tuple[Version, ...] | None = None
+        self._compiled_selection: CompiledSelection | None = None
 
     def set_policy(self, policy: SelectionPolicy) -> None:
         self.policy = policy
 
+    def compiled_selection(self) -> CompiledSelection | None:
+        """The policy compiled against the current table (cached), or
+        ``None`` when the policy is stateful or compilation is disabled."""
+        if not self.compiled:
+            return None
+        if (
+            self._compiled_policy is not self.policy
+            or self._compiled_versions is not self.table.versions
+        ):
+            self._compiled_selection = compile_policy(self.policy, self.table)
+            self._compiled_policy = self.policy
+            self._compiled_versions = self.table.versions
+        return self._compiled_selection
+
+    def _select(self) -> Version:
+        compiled = self.compiled_selection()
+        if compiled is not None:
+            return compiled.select(self.monitor.context())
+        return self.policy.select(self.table, self.monitor.context())
+
     def select(self) -> Version:
         """The version the current policy would pick right now."""
-        version = self.policy.select(self.table, self.monitor.context())
+        version = self._select()
         self._emit_selection(version, wall_time=None)
         return version
 
@@ -56,7 +92,7 @@ class RegionExecutor:
         scalars: dict[str, int],
     ) -> Version:
         """Run the selected version on the given data; returns it."""
-        version = self.policy.select(self.table, self.monitor.context())
+        version = self._select()
         clock = self.monitor.clock
         t0 = clock.perf()
         version(arrays, scalars)
@@ -115,7 +151,7 @@ class RegionExecutor:
         from repro.util.stats import median
 
         samples: dict[int, list[float]] = {}
-        for record in self.monitor.history:
+        for record in self.monitor.records():
             if record.region != self.table.region_name:
                 continue
             samples.setdefault(record.version_index, []).append(record.wall_time)

@@ -11,6 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.runtime.compiled import (
+    CompiledSelection,
+    FixedSelection,
+    ThreadCapSelection,
+    masked_argmin,
+)
 from repro.runtime.version_table import Version, VersionTable
 
 __all__ = [
@@ -28,10 +36,20 @@ __all__ = [
 
 
 class SelectionPolicy:
-    """Base: maps a version table (+ runtime context) to a version."""
+    """Base: maps a version table (+ runtime context) to a version.
+
+    Deterministic policies additionally implement :meth:`compile`, folding
+    themselves into a :class:`~repro.runtime.compiled.CompiledSelection`
+    whose per-call cost is O(1); the scalar :meth:`select` stays in-tree as
+    the differential oracle (compiled and per-call selection sequences must
+    be identical).  Stateful policies leave ``compile`` returning ``None``.
+    """
 
     def select(self, table: VersionTable, context: dict | None = None) -> Version:
         raise NotImplementedError
+
+    def compile(self, table: VersionTable) -> CompiledSelection | None:
+        return None
 
     def describe(self) -> str:
         return type(self).__name__
@@ -58,17 +76,31 @@ class WeightedSumPolicy(SelectionPolicy):
             )
         times = [v.meta.time for v in versions]
         ress = [v.meta.resources for v in versions]
-        t_lo, t_hi = min(times), max(times)
-        r_lo, r_hi = min(ress), max(ress)
+        t_lo, t_span = min(times), max(times) - min(times)
+        r_lo, r_span = min(ress), max(ress) - min(ress)
 
-        def norm(x: float, lo: float, hi: float) -> float:
-            return 0.0 if hi <= lo else (x - lo) / (hi - lo)
+        def norm(x: float, lo: float, span: float) -> float:
+            # degenerate tables (single version, or every version sharing
+            # the same time/resources) have zero span: the objective
+            # carries no signal, so its normalized contribution is 0 —
+            # never a division by zero or a NaN score
+            return 0.0 if span <= 0.0 else (x - lo) / span
 
         return min(
             versions,
-            key=lambda v: self.w_time * norm(v.meta.time, t_lo, t_hi)
-            + self.w_resources * norm(v.meta.resources, r_lo, r_hi),
+            key=lambda v: self.w_time * norm(v.meta.time, t_lo, t_span)
+            + self.w_resources * norm(v.meta.resources, r_lo, r_span),
         )
+
+    def compile(self, table: VersionTable) -> CompiledSelection:
+        cols = table.columns()
+        t, r = cols.times, cols.resources
+        t_span = float(t.max() - t.min())
+        r_span = float(r.max() - r.min())
+        nt = (t - t.min()) / t_span if t_span > 0.0 else np.zeros(len(t))
+        nr = (r - r.min()) / r_span if r_span > 0.0 else np.zeros(len(r))
+        scores = self.w_time * nt + self.w_resources * nr
+        return FixedSelection(table.versions[masked_argmin(scores)])
 
     def describe(self) -> str:
         return f"weighted(w_t={self.w_time}, w_r={self.w_resources})"
@@ -81,6 +113,9 @@ class FastestPolicy(SelectionPolicy):
     def select(self, table: VersionTable, context: dict | None = None) -> Version:
         return table.fastest()
 
+    def compile(self, table: VersionTable) -> CompiledSelection:
+        return FixedSelection(table.versions[masked_argmin(table.columns().times)])
+
 
 @dataclass(frozen=True)
 class MostEfficientPolicy(SelectionPolicy):
@@ -88,6 +123,11 @@ class MostEfficientPolicy(SelectionPolicy):
 
     def select(self, table: VersionTable, context: dict | None = None) -> Version:
         return table.most_efficient()
+
+    def compile(self, table: VersionTable) -> CompiledSelection:
+        return FixedSelection(
+            table.versions[masked_argmin(table.columns().resources)]
+        )
 
 
 @dataclass(frozen=True)
@@ -103,6 +143,13 @@ class TimeCapPolicy(SelectionPolicy):
         if not qualifying:
             return table.fastest()
         return min(qualifying, key=lambda v: v.meta.resources)
+
+    def compile(self, table: VersionTable) -> CompiledSelection:
+        cols = table.columns()
+        idx = masked_argmin(cols.resources, cols.times <= self.cap)
+        if idx is None:
+            idx = masked_argmin(cols.times)
+        return FixedSelection(table.versions[idx])
 
     def describe(self) -> str:
         return f"time_cap({self.cap:g}s)"
@@ -128,6 +175,17 @@ class ThreadCapPolicy(SelectionPolicy):
         if not qualifying:
             qualifying = [min(table, key=lambda v: v.meta.threads)]
         return min(qualifying, key=lambda v: v.meta.time)
+
+    def compile(self, table: VersionTable) -> CompiledSelection:
+        if self.cap is None:
+            # cap comes from the runtime context: prefix-best per distinct
+            # thread count, binary-searched per call
+            return ThreadCapSelection(table)
+        cols = table.columns()
+        idx = masked_argmin(cols.times, cols.threads <= self.cap)
+        if idx is None:
+            idx = masked_argmin(cols.threads)
+        return FixedSelection(table.versions[idx])
 
     def describe(self) -> str:
         return f"thread_cap({self.cap if self.cap is not None else 'context'})"
@@ -155,6 +213,19 @@ class EfficiencyFloorPolicy(SelectionPolicy):
             return table.most_efficient()
         return min(qualifying, key=lambda v: v.meta.time)
 
+    def compile(self, table: VersionTable) -> CompiledSelection:
+        cols = table.columns()
+        sequential = cols.threads == 1
+        if not sequential.any():
+            idx = masked_argmin(cols.resources)
+        else:
+            t_seq = cols.times[sequential].min()
+            feasible = (t_seq / cols.times) / cols.threads >= self.floor
+            idx = masked_argmin(cols.times, feasible)
+            if idx is None:
+                idx = masked_argmin(cols.resources)
+        return FixedSelection(table.versions[idx])
+
     def describe(self) -> str:
         return f"efficiency_floor({self.floor:g})"
 
@@ -169,6 +240,13 @@ class GreenestPolicy(SelectionPolicy):
         if not with_energy:
             return table.most_efficient()
         return min(with_energy, key=lambda v: v.meta.energy)
+
+    def compile(self, table: VersionTable) -> CompiledSelection:
+        cols = table.columns()
+        idx = masked_argmin(cols.energies, cols.has_energy)
+        if idx is None:
+            idx = masked_argmin(cols.resources)
+        return FixedSelection(table.versions[idx])
 
 
 @dataclass(frozen=True)
@@ -185,6 +263,17 @@ class EnergyCapPolicy(SelectionPolicy):
         if not qualifying:
             return GreenestPolicy().select(table, context)
         return min(qualifying, key=lambda v: v.meta.time)
+
+    def compile(self, table: VersionTable) -> CompiledSelection:
+        cols = table.columns()
+        # NaN marks missing energy metadata; substitute +inf so the
+        # comparison never touches a NaN
+        energies = np.where(cols.has_energy, cols.energies, np.inf)
+        feasible = energies <= self.cap
+        idx = masked_argmin(cols.times, feasible)
+        if idx is None:
+            return GreenestPolicy().compile(table)
+        return FixedSelection(table.versions[idx])
 
     def describe(self) -> str:
         return f"energy_cap({self.cap:g}J)"

@@ -1,0 +1,433 @@
+"""High-throughput serving loop: dispatching a request stream.
+
+The paper's runtime sits inside one process and answers "which version do I
+run *now*?" per region invocation.  This module scales that decision to
+serving-style traffic: a stream of ``(region, context)`` requests is
+dispatched across worker threads through the **precompiled** selection path
+(:mod:`repro.runtime.compiled`), observations are aggregated through the
+monitor's sharded ingestion (:class:`~repro.runtime.monitor.MonitorShard`),
+and the whole loop is observable (``dispatch.batch`` trace spans,
+``repro_dispatch_*`` metrics).
+
+The key throughput lever: a deterministic policy's decision is a pure
+function of ``(region, context)``, so a compiled replay never decides per
+request — each worker groups its chunk by distinct ``(region,
+available_cores)`` pair, takes **one** compiled selection per group, and
+fills the result array with a vectorized mask assignment.  Stateful
+policies (the bandit) and per-request history recording fall back to the
+per-request loop.
+
+Replays are deterministic: the workload generator draws from a seeded RNG
+stream, deterministic decisions depend only on each request's own (region,
+context) so the per-request selection sequence is bit-identical for any
+worker count and for grouped vs per-request dispatch, and "wall times" fed
+back to the monitor are the versions' metadata times.  The engine therefore
+doubles as its own differential harness — running the same workload with
+``compiled=False`` must yield the identical selection sequence, which
+``tests/test_serving.py`` and the throughput benchmark assert for every
+registered policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import DISABLED, Observability
+from repro.runtime.compiled import CompiledSelection, compile_policy
+from repro.runtime.monitor import RuntimeMonitor
+from repro.runtime.selection import SelectionPolicy, WeightedSumPolicy
+from repro.runtime.version_table import Version, VersionTable
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "DispatchEngine",
+    "DispatchRequest",
+    "DispatchResult",
+    "Workload",
+    "generate_workload",
+]
+
+
+@dataclass(frozen=True)
+class DispatchRequest:
+    """One region invocation to dispatch.
+
+    ``available_cores`` is the runtime context accompanying the request
+    (``None`` = no context, the policy sees an empty dict) — the
+    context-sensitive policies (``thread_cap``) read it.
+    """
+
+    region: str
+    available_cores: int | None = None
+
+    def context(self) -> dict:
+        if self.available_cores is None:
+            return {}
+        return {"available_cores": self.available_cores}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A request stream in column form.
+
+    ``region_ids[i]`` indexes ``regions``; ``cores`` is the per-request
+    ``available_cores`` context (``None`` = the whole stream carries no
+    context).  The array representation is what lets the dispatch engine
+    group a chunk by distinct (region, cores) pair instead of deciding per
+    request.
+    """
+
+    regions: tuple[str, ...]
+    region_ids: np.ndarray
+    cores: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.cores is not None and len(self.cores) != len(self.region_ids):
+            raise ValueError("cores must align with region_ids")
+
+    def __len__(self) -> int:
+        return len(self.region_ids)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return Workload(
+                regions=self.regions,
+                region_ids=self.region_ids[item],
+                cores=None if self.cores is None else self.cores[item],
+            )
+        i = int(item)
+        return DispatchRequest(
+            region=self.regions[int(self.region_ids[i])],
+            available_cores=None if self.cores is None else int(self.cores[i]),
+        )
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
+
+    @classmethod
+    def of(cls, requests) -> "Workload":
+        """Column form of an explicit request sequence.  The stream must be
+        uniform: either every request carries an ``available_cores`` context
+        or none does."""
+        if isinstance(requests, Workload):
+            return requests
+        reqs = list(requests)
+        names: list[str] = []
+        index: dict[str, int] = {}
+        ids = np.empty(len(reqs), dtype=np.int64)
+        with_cores = sum(r.available_cores is not None for r in reqs)
+        if with_cores not in (0, len(reqs)):
+            raise ValueError(
+                "mixed context streams are not supported: either every "
+                "request carries available_cores or none does"
+            )
+        cores = np.empty(len(reqs), dtype=np.int64) if with_cores else None
+        for i, r in enumerate(reqs):
+            rid = index.get(r.region)
+            if rid is None:
+                rid = index[r.region] = len(names)
+                names.append(r.region)
+            ids[i] = rid
+            if cores is not None:
+                cores[i] = r.available_cores
+        return cls(regions=tuple(names), region_ids=ids, cores=cores)
+
+
+def generate_workload(
+    regions,
+    n_requests: int,
+    seed: int = 0,
+    core_choices=None,
+) -> Workload:
+    """A deterministic request stream.
+
+    Regions are drawn uniformly from *regions*; when *core_choices* is
+    given, each request also carries an ``available_cores`` context drawn
+    uniformly from it.  Same arguments → same stream, independent of
+    NumPy's global RNG state.
+    """
+    regions = list(regions)
+    if not regions:
+        raise ValueError("workload needs at least one region")
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    rng = derive_rng(seed, "serving", "workload")
+    region_ids = rng.integers(len(regions), size=n_requests)
+    cores = None
+    if core_choices:
+        choices = np.asarray(list(core_choices), dtype=np.int64)
+        cores = choices[rng.integers(len(choices), size=n_requests)]
+    return Workload(
+        regions=tuple(regions), region_ids=region_ids.astype(np.int64), cores=cores
+    )
+
+
+@dataclass
+class DispatchResult:
+    """Outcome of one replay."""
+
+    #: chosen version index per request, in request order
+    selections: np.ndarray
+    #: number of requests dispatched
+    requests: int
+    #: worker threads used
+    workers: int
+    #: wall-clock seconds for the replay (monitor clock)
+    elapsed: float
+    #: ``(region, version index) -> count`` over the replay
+    version_counts: dict[tuple[str, int], int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Selections per second (``inf`` for a zero-length replay timed
+        at clock resolution)."""
+        if self.elapsed <= 0.0:
+            return float("inf")
+        return self.requests / self.elapsed
+
+
+class DispatchEngine:
+    """Dispatches a request stream over multi-versioned regions.
+
+    :param tables: ``region name -> VersionTable`` for every region the
+        workload may name.
+    :param policy: the selection policy (shared across regions, as the
+        paper's "dynamically configurable" runtime policy is).
+    :param monitor: shared runtime monitor; observations flow through
+        per-worker shards or the aggregate ledger.
+    :param obs: observability handle — each worker batch becomes a
+        ``dispatch.batch`` span, totals surface as ``repro_dispatch_*``
+        metrics.
+    :param workers: dispatch threads (the request array is split into
+        disjoint contiguous chunks, so results are position-stable).
+    :param compiled: use the precompiled grouped path for deterministic
+        policies; ``False`` forces the scalar per-call oracle (the
+        differential baseline).
+    :param aggregate_ledger: fold observations into the monitor's exact
+        aggregate totals without materializing per-request history records
+        (the default for million-request replays); ``False`` routes every
+        observation through a history-recording :class:`MonitorShard`
+        instead (which also disables the grouped fill — history needs the
+        per-request order).
+    """
+
+    def __init__(
+        self,
+        tables: dict[str, VersionTable],
+        policy: SelectionPolicy | None = None,
+        *,
+        monitor: RuntimeMonitor | None = None,
+        obs: Observability | None = None,
+        workers: int = 1,
+        compiled: bool = True,
+        aggregate_ledger: bool = True,
+        shard_capacity: int = 1024,
+    ) -> None:
+        if not tables:
+            raise ValueError("dispatch engine needs at least one region table")
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.tables = dict(tables)
+        self.policy = policy if policy is not None else WeightedSumPolicy()
+        self.monitor = monitor if monitor is not None else RuntimeMonitor()
+        self.obs = obs
+        self.workers = workers
+        self.compiled = compiled
+        self.aggregate_ledger = aggregate_ledger
+        self.shard_capacity = shard_capacity
+        self._compiled: dict[str, CompiledSelection | None] = {}
+        self._compiled_policy: SelectionPolicy | None = None
+
+    # ------------------------------------------------------------------
+
+    def _compiled_for(self, region: str) -> CompiledSelection | None:
+        """Region's compiled selection, rebuilt when the policy changed."""
+        if self._compiled_policy is not self.policy:
+            self._compiled = {}
+            self._compiled_policy = self.policy
+        if region not in self._compiled:
+            self._compiled[region] = (
+                compile_policy(self.policy, self.tables[region])
+                if self.compiled
+                else None
+            )
+        return self._compiled[region]
+
+    def _select(self, region: str, context: dict) -> Version:
+        compiled = self._compiled_for(region)
+        if compiled is not None:
+            return compiled.select(context)
+        return self.policy.select(self.tables[region], context)
+
+    # ------------------------------------------------------------------
+
+    def _dispatch_grouped(
+        self, wl: Workload, lo: int, hi: int, out: np.ndarray
+    ) -> None:
+        """Fill ``out[lo:hi]`` by (region, cores) group: one compiled
+        decision per distinct pair, one vectorized mask assignment per
+        group.  Bit-identical to the per-request loop because deterministic
+        decisions depend only on each request's own (region, context)."""
+        ids = wl.region_ids[lo:hi]
+        cores = None if wl.cores is None else wl.cores[lo:hi]
+        view = out[lo:hi]
+        for rid, region in enumerate(wl.regions):
+            mask = ids == rid
+            n = int(mask.sum())
+            if n == 0:
+                continue
+            comp = self._compiled_for(region)
+            if comp.context_free or cores is None:
+                version = comp.select({})
+                meta = version.meta
+                view[mask] = meta.index
+                self.monitor.absorb(
+                    region, meta.index, meta.threads, n,
+                    meta.time * meta.threads * n,
+                )
+            else:
+                group_cores = cores[mask]
+                for c in np.unique(group_cores):
+                    sub = mask & (cores == c)
+                    version = comp.select({"available_cores": int(c)})
+                    meta = version.meta
+                    view[sub] = meta.index
+                    k = int(sub.sum())
+                    self.monitor.absorb(
+                        region, meta.index, meta.threads, k,
+                        meta.time * meta.threads * k,
+                    )
+
+    def _dispatch_loop(
+        self, wl: Workload, lo: int, hi: int, out: np.ndarray
+    ) -> None:
+        """Per-request dispatch: the scalar oracle baseline, and the path
+        for stateful policies and history-recording replays."""
+        shard = None if self.aggregate_ledger else self.monitor.shard(
+            self.shard_capacity
+        )
+        # learning policies (the bandit) consume the observed walls too
+        learn = getattr(self.policy, "observe", None)
+        # aggregate mode: (region, version index) -> [count, cpu seconds,
+        # threads], folded into the monitor once at the end of the chunk
+        totals: dict[tuple[str, int], list] = {}
+        regions, ids, cores = wl.regions, wl.region_ids, wl.cores
+        for pos in range(lo, hi):
+            region = regions[int(ids[pos])]
+            ctx = {} if cores is None else {"available_cores": int(cores[pos])}
+            version = self._select(region, ctx)
+            meta = version.meta
+            out[pos] = meta.index
+            wall = meta.time
+            if learn is not None:
+                learn(meta.index, wall)
+            if shard is not None:
+                shard.observe(region, meta.index, meta.threads, meta.time, wall)
+            else:
+                key = (region, meta.index)
+                entry = totals.get(key)
+                if entry is None:
+                    totals[key] = [1, wall * meta.threads, meta.threads]
+                else:
+                    entry[0] += 1
+                    entry[1] += wall * meta.threads
+        if shard is not None:
+            shard.flush()
+        for (region, index), (count, cpu, threads) in totals.items():
+            self.monitor.absorb(region, index, threads, count, cpu)
+
+    def _dispatch_range(
+        self, wl: Workload, lo: int, hi: int, out: np.ndarray, worker: int
+    ) -> None:
+        """Dispatch one worker's contiguous chunk ``[lo, hi)``."""
+        obs = self.obs or DISABLED
+        grouped = (
+            self.aggregate_ledger
+            and getattr(self.policy, "observe", None) is None
+            and self.compiled
+            and all(self._compiled_for(r) is not None for r in wl.regions)
+        )
+        with obs.tracer.span(
+            "dispatch.batch",
+            worker=worker,
+            offset=lo,
+            size=hi - lo,
+            grouped=grouped,
+        ):
+            if grouped:
+                self._dispatch_grouped(wl, lo, hi, out)
+            else:
+                self._dispatch_loop(wl, lo, hi, out)
+
+    # ------------------------------------------------------------------
+
+    def replay(self, requests) -> DispatchResult:
+        """Dispatch every request; returns the per-request selections.
+
+        Accepts a :class:`Workload` (preferred) or any iterable of
+        :class:`DispatchRequest`.  Deterministic policies yield a selection
+        sequence independent of the worker count (each request's decision
+        depends only on its own region and context); stateful policies (the
+        bandit) interleave observations and should be replayed with
+        ``workers=1`` when a reproducible sequence matters.
+        """
+        wl = Workload.of(requests)
+        obs = self.obs or DISABLED
+        n = len(wl)
+        out = np.zeros(n, dtype=np.int64)
+        clock = self.monitor.clock
+        before = self.monitor.version_counts()
+        t0 = clock.perf()
+        workers = min(self.workers, n) or 1
+        if workers == 1:
+            self._dispatch_range(wl, 0, n, out, worker=0)
+        else:
+            bounds = np.linspace(0, n, workers + 1).astype(int)
+            threads = [
+                threading.Thread(
+                    target=self._dispatch_range,
+                    args=(wl, int(bounds[w]), int(bounds[w + 1]), out, w),
+                    name=f"dispatch-{w}",
+                )
+                for w in range(workers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        elapsed = clock.perf() - t0
+
+        after = self.monitor.version_counts()
+        counts = {
+            key: after[key] - before.get(key, 0)
+            for key in after
+            if after[key] != before.get(key, 0)
+        }
+        m = obs.metrics
+        m.counter(
+            "repro_dispatch_requests_total", "requests dispatched"
+        ).inc(n)
+        m.counter("repro_dispatch_replays_total", "replay batches run").inc()
+        m.gauge("repro_dispatch_workers", "dispatch worker threads").set(workers)
+        m.histogram(
+            "repro_dispatch_replay_seconds", "wall time per replay batch"
+        ).observe(elapsed)
+        obs.tracer.event(
+            "dispatch.replay",
+            requests=n,
+            workers=workers,
+            policy=self.policy.describe(),
+            compiled=self.compiled,
+            elapsed=elapsed,
+        )
+        return DispatchResult(
+            selections=out,
+            requests=n,
+            workers=workers,
+            elapsed=elapsed,
+            version_counts=counts,
+        )

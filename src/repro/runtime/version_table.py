@@ -16,7 +16,7 @@ import numpy as np
 from repro.backend.meta import VersionMeta
 from repro.optimizer.archive import ParetoArchive
 
-__all__ = ["Version", "VersionTable"]
+__all__ = ["Version", "VersionColumns", "VersionTable"]
 
 
 @dataclass(frozen=True)
@@ -35,9 +35,59 @@ class Version:
         self.fn(arrays, scalars)
 
 
+@dataclass(frozen=True)
+class VersionColumns:
+    """The table's metadata as column vectors (version-table order).
+
+    The frozen, dictionary-free view the precompiled selection path scores
+    against: one float64 vector per objective, ``np.nan`` marking versions
+    without energy metadata.  Arrays are read-only — they are shared by
+    every compiled policy of the owning table.
+    """
+
+    indices: np.ndarray
+    times: np.ndarray
+    resources: np.ndarray
+    threads: np.ndarray
+    energies: np.ndarray
+
+    @classmethod
+    def of(cls, versions: tuple[Version, ...]) -> "VersionColumns":
+        cols = cls(
+            indices=np.array([v.meta.index for v in versions], dtype=np.int64),
+            times=np.array([v.meta.time for v in versions], dtype=float),
+            resources=np.array([v.meta.resources for v in versions], dtype=float),
+            threads=np.array([v.meta.threads for v in versions], dtype=np.int64),
+            energies=np.array(
+                [
+                    np.nan if v.meta.energy is None else v.meta.energy
+                    for v in versions
+                ],
+                dtype=float,
+            ),
+        )
+        for arr in (cols.indices, cols.times, cols.resources, cols.threads,
+                    cols.energies):
+            arr.setflags(write=False)
+        return cols
+
+    @property
+    def has_energy(self) -> np.ndarray:
+        return ~np.isnan(self.energies)
+
+
 @dataclass
 class VersionTable:
-    """All versions of one tuned region, ordered by index."""
+    """All versions of one tuned region, ordered by index.
+
+    The ``versions`` tuple is treated as frozen: derived artifacts
+    (:meth:`columns`, :meth:`objective_points`, :meth:`archive`) are
+    computed once and cached against the tuple's identity, so per-call
+    consumers (the precompiled selection path scores every policy against
+    :meth:`columns`) never rebuild arrays.  Replacing ``versions`` — the
+    executor's ``recalibrate`` builds a whole new table — invalidates every
+    cache automatically.
+    """
 
     region_name: str
     versions: tuple[Version, ...] = field(default=())
@@ -48,6 +98,19 @@ class VersionTable:
         indices = [v.meta.index for v in self.versions]
         if indices != sorted(set(indices)):
             raise ValueError(f"version indices must be unique and sorted: {indices}")
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._cached_for: tuple[Version, ...] | None = None
+        self._columns: VersionColumns | None = None
+        self._points: np.ndarray | None = None
+        self._archives: dict[tuple, ParetoArchive] = {}
+
+    def _fresh(self) -> None:
+        """Drop derived caches when the versions tuple was swapped."""
+        if self._cached_for is not self.versions:
+            self._invalidate()
+            self._cached_for = self.versions
 
     def __len__(self) -> int:
         return len(self.versions)
@@ -74,23 +137,50 @@ class VersionTable:
     def most_efficient(self) -> Version:
         return min(self.versions, key=lambda v: v.meta.resources)
 
+    # -- frozen column cache ---------------------------------------------
+
+    def columns(self) -> VersionColumns:
+        """Cached read-only metadata vectors (see :class:`VersionColumns`)."""
+        self._fresh()
+        if self._columns is None:
+            self._columns = VersionColumns.of(self.versions)
+        return self._columns
+
     # -- front quality ---------------------------------------------------
 
     def objective_points(self) -> np.ndarray:
-        """(time, resources) rows in version-index order."""
-        return np.array(
-            [(v.meta.time, v.meta.resources) for v in self.versions], dtype=float
-        ).reshape(-1, 2)
+        """(time, resources) rows in version-index order.
+
+        Cached on the frozen table (read-only array); rebuilt only when the
+        ``versions`` tuple itself is replaced.
+        """
+        self._fresh()
+        if self._points is None:
+            points = np.array(
+                [(v.meta.time, v.meta.resources) for v in self.versions],
+                dtype=float,
+            ).reshape(-1, 2)
+            points.setflags(write=False)
+            self._points = points
+        return self._points
 
     def archive(self, reference: np.ndarray | None = None) -> ParetoArchive:
         """The table's versions as a :class:`ParetoArchive`, payloads being
         the versions themselves.  The default reference is the table's own
-        objective maxima × 1.1 (the optimizers' normalization rule)."""
+        objective maxima × 1.1 (the optimizers' normalization rule).
+
+        Archives are cached per reference point and shared — treat the
+        result as read-only (copy it before adding points)."""
+        self._fresh()
         pts = self.objective_points()
         if reference is None:
             reference = pts.max(axis=0) * 1.1
-        archive = ParetoArchive(reference)
-        archive.add_many(pts, payloads=list(self.versions))
+        cache_key = tuple(float(r) for r in np.asarray(reference).ravel())
+        archive = self._archives.get(cache_key)
+        if archive is None:
+            archive = ParetoArchive(np.asarray(reference, dtype=float))
+            archive.add_many(pts, payloads=list(self.versions))
+            self._archives[cache_key] = archive
         return archive
 
     def hypervolume(self, reference: np.ndarray | None = None) -> float:

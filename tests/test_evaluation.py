@@ -388,3 +388,31 @@ class TestBatchEvaluator:
         configs = [({"i": 16 * t, "j": 64, "k": 8}, 10) for t in range(1, 9)]
         res = be.evaluate_batch(configs)
         assert len(res.objectives) == 8
+
+
+class TestVectorizedNoise:
+    """compute_keys derives its noise matrix in one batch; the rows must be
+    bit-identical to the scalar per-key path (the evaluate() oracle)."""
+
+    def test_noise_matrix_matches_scalar_rows(self, mm_target):
+        keys = [(32, 64, 8, 10), (16, 128, 4, 20), (8, 8, 8, 1), (32, 64, 8, 20)]
+        reps = mm_target.protocol.repetitions
+        matrix = mm_target._noise_factor_matrix(keys, reps)
+        assert matrix.shape == (len(keys), reps)
+        for row, key in zip(matrix, keys):
+            assert np.array_equal(row, mm_target._noise_factors(key, reps))
+
+    def test_compute_keys_matches_evaluate(self, mm_model):
+        tgt_a = SimulatedTarget(mm_model, seed=13)
+        tgt_b = SimulatedTarget(mm_model, seed=13)
+        keys = [(32, 64, 8, 10), (16, 128, 4, 20), (64, 8, 16, 40)]
+        batch = tgt_a.compute_keys(keys)
+        for key, (obj, meas) in zip(keys, batch):
+            tiles = dict(zip(("i", "j", "k"), key[:-1]))
+            single = tgt_b.evaluate(tiles, key[-1])
+            assert obj.time == single.time
+            assert obj.resources == single.resources
+            assert meas.value == obj.time
+
+    def test_compute_keys_empty(self, mm_target):
+        assert mm_target.compute_keys([]) == []

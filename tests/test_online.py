@@ -110,3 +110,128 @@ class TestExecutorIntegration:
             wall = true_times[v.meta.index] * float(np.exp(rng.normal(0, 0.05)))
             sel.observe(v.meta.index, wall)
         assert sel.select(table).meta.index == 1
+
+
+class TestVectorizedParity:
+    """select() computes every arm's UCB score in one vectorized
+    expression; select_scalar() is the per-arm loop kept as the
+    differential oracle.  The two must pick the same version at every step
+    of any observation stream."""
+
+    def test_select_matches_scalar_oracle_throughout(self):
+        table = table_with_times([0.5, 0.3, 0.8, 0.4])
+        b = BanditSelector(seed=11)
+        rng = derive_rng(11, "parity")
+        for step in range(300):
+            assert b.select(table) is b.select_scalar(table), step
+            arm = int(rng.integers(len(table)))
+            b.observe(arm, 0.1 + float(rng.random()))
+
+    def test_parity_with_unobserved_arms(self):
+        table = table_with_times([0.5, 0.3, 0.8])
+        b = BanditSelector(seed=1)
+        # arm 1 never observed; arm 99 observed but absent from the table
+        for _ in range(5):
+            b.observe(0, 0.7)
+            b.observe(2, 0.2)
+            b.observe(99, 0.01)
+        assert b.select(table) is b.select_scalar(table)
+
+    def test_parity_before_any_observation(self):
+        table = table_with_times([0.5, 0.3, 0.8])
+        b = BanditSelector(seed=2)
+        assert b.select(table) is b.select_scalar(table)
+
+    def test_epsilon_strategy_delegates(self):
+        table = table_with_times([0.5, 0.3])
+        b = BanditSelector(strategy="epsilon", seed=3)
+        for _ in range(20):
+            assert b.select_scalar(table).meta.index in (0, 1)
+
+
+class TestBatchedObservation:
+    def test_observe_many_equals_sequential(self):
+        a = BanditSelector(seed=0)
+        b = BanditSelector(seed=0)
+        arms = [0, 1, 0, 2, 1, 1, 0]
+        walls = [0.5, 0.2, 0.6, 0.9, 0.3, 0.25, 0.55]
+        for arm, wall in zip(arms, walls):
+            a.observe(arm, wall)
+        b.observe_many(arms, walls)
+        assert a.statistics() == b.statistics()
+
+    def test_observe_many_rejects_bad_walls_atomically(self):
+        b = BanditSelector()
+        with pytest.raises(ValueError):
+            b.observe_many([0, 1], [0.5, -1.0])
+        # nothing from the rejected batch may have landed
+        assert b.statistics() == {}
+
+    def test_statistics_welford(self):
+        b = BanditSelector()
+        for wall in (1.0, 2.0, 3.0):
+            b.observe(0, wall)
+        count, mean, m2 = b.statistics()[0]
+        assert count == 3
+        assert mean == pytest.approx(2.0)
+        assert m2 == pytest.approx(2.0)  # sum of squared deviations
+
+
+class TestBanditConcurrency:
+    def test_concurrent_observe_and_select(self):
+        """16 threads hammering observe/select concurrently: selection
+        never raises and not a single observation is lost."""
+        import threading
+
+        table = table_with_times([0.5, 0.3, 0.8, 0.4])
+        b = BanditSelector(seed=7)
+        per_thread, n_threads = 300, 16
+        errors = []
+
+        def run(tid):
+            rng = derive_rng(tid, "worker")
+            try:
+                for i in range(per_thread):
+                    v = b.select(table)
+                    assert v.meta.index in range(len(table))
+                    b.observe(
+                        int(rng.integers(len(table))), 0.1 + float(rng.random())
+                    )
+                    if i % 50 == 0:
+                        b.select_scalar(table)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = b.statistics()
+        assert sum(count for count, _, _ in stats.values()) == per_thread * n_threads
+
+    def test_concurrent_observe_many_counts_exact(self):
+        import threading
+
+        b = BanditSelector()
+        per_batch, batches, n_threads = 50, 10, 8
+
+        def run(tid):
+            rng = derive_rng(tid, "batch")
+            for _ in range(batches):
+                arms = [int(a) for a in rng.integers(4, size=per_batch)]
+                walls = [0.1 + float(w) for w in rng.random(per_batch)]
+                b.observe_many(arms, walls)
+
+        threads = [
+            threading.Thread(target=run, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(c for c, _, _ in b.statistics().values())
+        assert total == per_batch * batches * n_threads

@@ -9,6 +9,7 @@ import pytest
 from repro.backend.meta import VersionMeta
 from repro.runtime import (
     EfficiencyFloorPolicy,
+    ExecutionRecord,
     FastestPolicy,
     MostEfficientPolicy,
     RegionExecutor,
@@ -360,3 +361,249 @@ class TestSelectionEvents:
         m = obs.metrics.as_dict()
         assert m["repro_runtime_executions_total"] == 1
         assert m["repro_runtime_wall_seconds"]["count"] == 1
+
+
+class TestWeightedSumDegenerate:
+    """Zero-span normalization: tables where an objective carries no signal
+    must select cleanly (no division by zero, no NaN scores)."""
+
+    def test_single_version_table(self):
+        t = VersionTable("x", (Version(meta=meta(0, 0.5, 2)),))
+        assert WeightedSumPolicy().select(t).meta.index == 0
+        assert WeightedSumPolicy(1.0, 0.0).select(t).meta.index == 0
+
+    def test_all_equal_table(self):
+        metas = [meta(i, 0.5, 2, resources=1.0) for i in range(4)]
+        t = VersionTable("x", tuple(Version(meta=m) for m in metas))
+        # every score is exactly 0.0 — the first version wins the tie
+        assert WeightedSumPolicy().select(t).meta.index == 0
+
+    def test_one_degenerate_objective(self):
+        # equal times, distinct resources: only the resource term decides
+        metas = [meta(0, 0.5, 4), meta(1, 0.5, 2), meta(2, 0.5, 1)]
+        t = VersionTable("x", tuple(Version(meta=m) for m in metas))
+        assert WeightedSumPolicy(0.9, 0.1).select(t).meta.index == 2
+
+    def test_compiled_agrees_on_degenerate_tables(self):
+        from repro.runtime import compile_policy
+
+        for metas in (
+            [meta(0, 0.5, 2)],
+            [meta(i, 0.5, 2, resources=1.0) for i in range(4)],
+            [meta(0, 0.5, 4), meta(1, 0.5, 2), meta(2, 0.5, 1)],
+        ):
+            t = VersionTable("x", tuple(Version(meta=m) for m in metas))
+            for policy in (WeightedSumPolicy(), WeightedSumPolicy(0.9, 0.1)):
+                assert compile_policy(policy, t).select({}) is policy.select(t)
+
+
+class TestVersionTableCaches:
+    def test_columns_cached_and_read_only(self, table):
+        cols = table.columns()
+        assert table.columns() is cols
+        assert not cols.times.flags.writeable
+        with pytest.raises(ValueError):
+            cols.times[0] = 9.9
+        assert list(cols.indices) == [0, 1, 2, 3, 4]
+
+    def test_objective_points_cached_and_read_only(self, table):
+        pts = table.objective_points()
+        assert table.objective_points() is pts
+        assert not pts.flags.writeable
+
+    def test_archive_cached_per_reference(self, table):
+        a = table.archive()
+        assert table.archive() is a
+        ref = np.array([10.0, 10.0])
+        b = table.archive(ref)
+        assert b is not a
+        assert table.archive(ref) is b
+
+    def test_replacing_versions_invalidates_caches(self, table):
+        cols, pts, arch = table.columns(), table.objective_points(), table.archive()
+        table.versions = table.versions[:3]
+        assert table.columns() is not cols
+        assert len(table.columns().times) == 3
+        assert table.objective_points() is not pts
+        assert table.archive() is not arch
+
+    def test_hypervolume_uses_cached_archive(self, table):
+        hv = table.hypervolume()
+        assert hv > 0
+        assert table.hypervolume() == hv
+
+
+class TestCompiledExecutor:
+    def test_compiled_selection_cached_by_identity(self, table):
+        ex = RegionExecutor(table, policy=FastestPolicy())
+        c = ex.compiled_selection()
+        assert c is not None
+        assert ex.compiled_selection() is c
+
+    def test_set_policy_invalidates(self, table):
+        ex = RegionExecutor(table, policy=FastestPolicy())
+        assert ex.select().meta.index == 0
+        ex.set_policy(MostEfficientPolicy())
+        assert ex.select().meta.index == 4
+
+    def test_disabled_compilation_forces_oracle(self, table):
+        ex = RegionExecutor(table, policy=FastestPolicy(), compiled=False)
+        assert ex.compiled_selection() is None
+        assert ex.select().meta.index == 0
+
+    def test_compiled_and_oracle_selections_agree(self, table):
+        for policy in (
+            FastestPolicy(),
+            MostEfficientPolicy(),
+            WeightedSumPolicy(),
+            TimeCapPolicy(0.2),
+            ThreadCapPolicy(),
+            EfficiencyFloorPolicy(),
+        ):
+            fast = RegionExecutor(table, policy=policy)
+            slow = RegionExecutor(table, policy=policy, compiled=False)
+            for cores in (None, 2, 10, 40):
+                if cores is not None:
+                    fast.monitor.set_available_cores(cores)
+                    slow.monitor.set_available_cores(cores)
+                assert fast.select() is slow.select(), (policy, cores)
+
+    def test_recalibrate_invalidates_compiled_cache(self, table):
+        """After recalibrate() builds a new table, the stale compiled
+        decision must not survive: observed times flip the fastest
+        version."""
+        ex = RegionExecutor(table, policy=FastestPolicy())
+        assert ex.select().meta.index == 0
+        before = ex.compiled_selection()
+        # production says v0 is actually slow and v2 is very fast
+        for _ in range(3):
+            ex.monitor.record("mm", 0, 40, 0.05, 0.9)
+            ex.monitor.record("mm", 2, 10, 0.14, 0.01)
+        assert ex.recalibrate() == 2
+        assert ex.compiled_selection() is not before
+        assert ex.select().meta.index == 2
+
+
+class TestMonitorBatching:
+    def test_observe_many_matches_sequential_records(self):
+        from repro.obs import FakeClock
+
+        a = RuntimeMonitor(clock=FakeClock(t=5.0))
+        b = RuntimeMonitor(clock=FakeClock(t=5.0))
+        obs = [("mm", i % 3, 2, 0.1, 0.1 * (i + 1)) for i in range(10)]
+        for o in obs:
+            a.record(*o)
+        assert b.observe_many(obs) == 10
+        assert a.selections() == b.selections()
+        assert a.version_counts() == b.version_counts()
+        assert a.total_cpu_seconds() == pytest.approx(b.total_cpu_seconds())
+        # the batch shares one timestamp
+        assert len({r.timestamp for r in b.records()}) == 1
+
+    def test_observe_many_empty(self):
+        assert RuntimeMonitor().observe_many([]) == 0
+
+    def test_shard_buffers_and_flushes(self):
+        m = RuntimeMonitor()
+        shard = m.shard(capacity=4)
+        for i in range(10):
+            shard.observe("mm", 0, 2, 0.1, 0.1)
+        # two automatic flushes at capacity, 2 left buffered
+        assert shard.flushes == 2
+        assert m.invocations == 8
+        assert len(shard) == 2
+        assert shard.flush() == 2
+        assert m.invocations == 10
+        assert shard.flush() == 0
+
+    def test_shard_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeMonitor().shard(capacity=0)
+
+    def test_absorb_keeps_totals_exact_without_history(self):
+        m = RuntimeMonitor()
+        m.absorb("mm", 1, 4, count=1000, cpu_seconds=40.0)
+        m.absorb("mm", 2, 2, count=500, cpu_seconds=10.0)
+        assert m.invocations == 1500
+        assert m.total_cpu_seconds() == pytest.approx(50.0)
+        assert m.version_counts() == {("mm", 1): 1000, ("mm", 2): 500}
+        assert m.records() == []
+
+    def test_history_limit_preserves_aggregates(self):
+        m = RuntimeMonitor(history_limit=5)
+        for i in range(20):
+            m.record("mm", i % 2, 2, 0.1, 0.1)
+        assert len(m.records()) == 5
+        assert m.invocations == 20
+        assert m.version_counts() == {("mm", 0): 10, ("mm", 1): 10}
+        assert m.total_cpu_seconds() == pytest.approx(20 * 0.1 * 2)
+
+    def test_preseeded_history_counts_in_aggregates(self):
+        seed = [
+            ExecutionRecord("mm", 0, 2, 0.1, 0.2, 0.0),
+            ExecutionRecord("mm", 1, 4, 0.1, 0.3, 1.0),
+        ]
+        m = RuntimeMonitor(history=list(seed))
+        assert m.invocations == 2
+        assert m.total_cpu_seconds() == pytest.approx(0.2 * 2 + 0.3 * 4)
+
+    def test_concurrent_ingestion_loses_nothing(self):
+        import threading
+
+        m = RuntimeMonitor()
+        per_thread, n_threads = 500, 8
+
+        def run(tid):
+            shard = m.shard(capacity=37)
+            for i in range(per_thread):
+                shard.observe("mm", tid % 3, 2, 0.1, 0.1)
+            shard.flush()
+
+        threads = [
+            threading.Thread(target=run, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.invocations == per_thread * n_threads
+        assert sum(m.version_counts().values()) == per_thread * n_threads
+
+
+class TestRecalibrateConcurrent:
+    def test_recalibrate_under_concurrent_recording(self, table):
+        """recalibrate() snapshots the history while other threads keep
+        recording: it must never raise and every record must survive."""
+        import threading
+
+        ex = RegionExecutor(table, policy=FastestPolicy())
+        stop = threading.Event()
+        errors = []
+
+        def writer(tid):
+            i = 0
+            while not stop.is_set():
+                ex.monitor.record("mm", tid % 5, 2, 0.1, 0.1 + 0.01 * tid)
+                i += 1
+            return i
+
+        def recalibrator():
+            try:
+                for _ in range(20):
+                    ex.recalibrate(min_samples=3)
+                    ex.select()
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        writers = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        rec = threading.Thread(target=recalibrator)
+        for t in writers:
+            t.start()
+        rec.start()
+        rec.join()
+        for t in writers:
+            t.join()
+        assert errors == []
+        assert ex.monitor.invocations == len(ex.monitor.records())

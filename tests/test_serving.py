@@ -1,0 +1,286 @@
+"""Tests for the serving loop: precompiled dispatch vs the scalar oracle,
+workload determinism, sharded monitor ingestion, and observability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.meta import VersionMeta
+from repro.runtime import (
+    BanditSelector,
+    DispatchEngine,
+    DispatchRequest,
+    RuntimeMonitor,
+    Version,
+    VersionTable,
+    Workload,
+    compile_policy,
+    generate_workload,
+    policy_by_name,
+)
+
+#: every selection-policy shape the registry can produce: the four plain
+#: names plus each parameterized family, with and without the optional
+#: argument where allowed.  The differential-oracle tests below run each of
+#: them — a compiled policy that drifts from its scalar select() fails here.
+REGISTRY_POLICIES = [
+    "fastest",
+    "efficient",
+    "balanced",
+    "greenest",
+    "time_cap:0.1",
+    "time_cap:10",
+    "thread_cap",
+    "thread_cap:2",
+    "thread_cap:3",
+    "efficiency_floor",
+    "efficiency_floor:0.3",
+    "energy_cap:1.5",
+    "energy_cap:0.001",
+]
+
+CONTEXTS = [{}, {"available_cores": 1}, {"available_cores": 3},
+            {"available_cores": 8}, {"available_cores": 64}]
+
+
+def meta(i, time, threads, resources=None, energy=None):
+    return VersionMeta(
+        index=i,
+        time=time,
+        resources=resources if resources is not None else time * threads,
+        threads=threads,
+        tile_sizes=(("i", 8),),
+        energy=energy,
+    )
+
+
+def make_table(region="mm"):
+    """mm-like Pareto table with a sequential entry, duplicate thread
+    counts, and partial energy metadata — every policy family has both a
+    feasible and an infeasible regime on it."""
+    metas = [
+        meta(0, 0.05, 8, energy=2.0),
+        meta(1, 0.08, 4, energy=1.0),
+        meta(2, 0.09, 4),
+        meta(3, 0.14, 2, energy=0.9),
+        meta(4, 1.10, 1, energy=3.0),
+    ]
+    return VersionTable(
+        region_name=region, versions=tuple(Version(meta=m) for m in metas)
+    )
+
+
+def degenerate_tables():
+    """Edge-case tables the compiled path must agree on too."""
+    single = VersionTable("single", (Version(meta=meta(0, 0.5, 2)),))
+    equal = VersionTable(
+        "equal",
+        tuple(Version(meta=meta(i, 0.5, 2, resources=1.0)) for i in range(3)),
+    )
+    no_seq = VersionTable(
+        "noseq", tuple(Version(meta=meta(i, 0.1 * (i + 1), 2)) for i in range(3))
+    )
+    return [single, equal, no_seq]
+
+
+class TestCompiledOracle:
+    @pytest.mark.parametrize("name", REGISTRY_POLICIES)
+    def test_compiled_matches_scalar_for_registry_policy(self, name):
+        """The differential oracle: for every registered policy shape, the
+        compiled selection must equal the per-call select() on every table
+        and context."""
+        policy = policy_by_name(name)
+        for table in [make_table()] + degenerate_tables():
+            compiled = compile_policy(policy, table)
+            assert compiled is not None, f"{name} must compile"
+            for ctx in CONTEXTS:
+                want = policy.select(table, ctx)
+                got = compiled.select(ctx)
+                assert got is want, (name, table.region_name, ctx)
+
+    def test_bandit_does_not_compile(self):
+        assert compile_policy(BanditSelector(), make_table()) is None
+
+    def test_objects_without_compile_do_not_compile(self):
+        class Legacy:
+            pass
+
+        assert compile_policy(Legacy(), make_table()) is None
+
+
+class TestWorkload:
+    def test_same_seed_same_stream(self):
+        a = generate_workload(["mm", "st"], 500, seed=3, core_choices=[1, 4])
+        b = generate_workload(["mm", "st"], 500, seed=3, core_choices=[1, 4])
+        assert np.array_equal(a.region_ids, b.region_ids)
+        assert np.array_equal(a.cores, b.cores)
+
+    def test_different_seed_different_stream(self):
+        a = generate_workload(["mm", "st"], 500, seed=3)
+        b = generate_workload(["mm", "st"], 500, seed=4)
+        assert not np.array_equal(a.region_ids, b.region_ids)
+
+    def test_requests_and_slicing(self):
+        wl = generate_workload(["mm", "st"], 10, seed=0, core_choices=[2])
+        assert len(wl) == 10
+        head = wl[:4]
+        assert isinstance(head, Workload) and len(head) == 4
+        req = wl[0]
+        assert isinstance(req, DispatchRequest)
+        assert req.region in ("mm", "st") and req.available_cores == 2
+        assert req.context() == {"available_cores": 2}
+
+    def test_of_roundtrips_request_list(self):
+        wl = generate_workload(["mm", "st"], 50, seed=1, core_choices=[1, 8])
+        again = Workload.of(list(wl))
+        assert [again[i] for i in range(len(again))] == [wl[i] for i in range(len(wl))]
+        assert Workload.of(wl) is wl
+
+    def test_of_rejects_mixed_context(self):
+        with pytest.raises(ValueError, match="mixed context"):
+            Workload.of([DispatchRequest("mm", 4), DispatchRequest("mm")])
+
+    def test_no_context_stream(self):
+        wl = generate_workload(["mm"], 5, seed=0)
+        assert wl.cores is None
+        assert wl[0].context() == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_workload([], 5)
+        with pytest.raises(ValueError):
+            generate_workload(["mm"], -1)
+
+
+@pytest.fixture
+def tables():
+    return {"mm": make_table("mm"), "st": make_table("st")}
+
+
+@pytest.fixture
+def workload():
+    return generate_workload(["mm", "st"], 3000, seed=9, core_choices=[1, 2, 4, 8])
+
+
+class TestDispatchEngine:
+    @pytest.mark.parametrize("name", REGISTRY_POLICIES)
+    def test_compiled_replay_matches_percall_replay(self, name, tables, workload):
+        fast = DispatchEngine(tables, policy_by_name(name), workers=2)
+        slow = DispatchEngine(
+            tables, policy_by_name(name), workers=1, compiled=False
+        )
+        a = fast.replay(workload)
+        b = slow.replay(workload)
+        assert np.array_equal(a.selections, b.selections)
+        assert fast.monitor.version_counts() == slow.monitor.version_counts()
+        assert fast.monitor.invocations == slow.monitor.invocations == len(workload)
+
+    def test_worker_count_invariance(self, tables, workload):
+        results = [
+            DispatchEngine(
+                tables, policy_by_name("thread_cap"), workers=w
+            ).replay(workload)
+            for w in (1, 3, 7)
+        ]
+        for other in results[1:]:
+            assert np.array_equal(results[0].selections, other.selections)
+
+    def test_result_accounting(self, tables, workload):
+        res = DispatchEngine(tables, workers=2).replay(workload)
+        assert res.requests == len(workload)
+        assert res.workers == 2
+        assert sum(res.version_counts.values()) == len(workload)
+        assert res.throughput > 0
+
+    def test_shard_path_records_full_history(self, tables, workload):
+        """aggregate_ledger=False routes every observation through a
+        MonitorShard into real ExecutionRecords; with one worker the
+        history order is the request order."""
+        engine = DispatchEngine(
+            tables, workers=1, aggregate_ledger=False, shard_capacity=64
+        )
+        res = engine.replay(workload)
+        assert engine.monitor.selections() == list(res.selections)
+        assert len(engine.monitor.records()) == len(workload)
+        assert engine.monitor.version_counts() == {
+            k: v for k, v in res.version_counts.items()
+        }
+
+    def test_shard_and_aggregate_paths_agree(self, tables, workload):
+        agg = DispatchEngine(tables, workers=2)
+        shd = DispatchEngine(tables, workers=2, aggregate_ledger=False)
+        a = agg.replay(workload)
+        b = shd.replay(workload)
+        assert np.array_equal(a.selections, b.selections)
+        assert agg.monitor.version_counts() == shd.monitor.version_counts()
+
+    def test_bandit_replay_deterministic_and_exact(self, tables, workload):
+        runs = []
+        for _ in range(2):
+            bandit = BanditSelector(seed=5)
+            engine = DispatchEngine(tables, bandit, workers=1)
+            res = engine.replay(workload)
+            runs.append((res.selections, bandit.statistics()))
+        (sel_a, stats_a), (sel_b, stats_b) = runs
+        assert np.array_equal(sel_a, sel_b)
+        assert stats_a == stats_b
+        assert sum(c for c, _, _ in stats_a.values()) == len(workload)
+
+    def test_policy_swap_invalidates_compiled_cache(self, tables, workload):
+        engine = DispatchEngine(tables, policy_by_name("fastest"))
+        a = engine.replay(workload)
+        engine.policy = policy_by_name("efficient")
+        b = engine.replay(workload)
+        oracle = DispatchEngine(
+            tables, policy_by_name("efficient"), compiled=False
+        ).replay(workload)
+        assert not np.array_equal(a.selections, b.selections)
+        assert np.array_equal(b.selections, oracle.selections)
+
+    def test_validation(self, tables):
+        with pytest.raises(ValueError):
+            DispatchEngine({})
+        with pytest.raises(ValueError):
+            DispatchEngine(tables, workers=0)
+
+    def test_empty_replay(self, tables):
+        res = DispatchEngine(tables, workers=4).replay(
+            generate_workload(["mm"], 0)
+        )
+        assert res.requests == 0
+        assert len(res.selections) == 0
+
+
+class TestServingObservability:
+    def test_metrics_and_spans(self, tables, workload):
+        from repro.obs import FakeClock, Observability
+
+        obs = Observability.tracing(clock=FakeClock(tick=0.1))
+        engine = DispatchEngine(tables, obs=obs, workers=2)
+        engine.replay(workload)
+        m = obs.metrics.as_dict()
+        assert m["repro_dispatch_requests_total"] == len(workload)
+        assert m["repro_dispatch_replays_total"] == 1
+        assert m["repro_dispatch_workers"] == 2
+        assert m["repro_dispatch_replay_seconds"]["count"] == 1
+        names = [r["name"] for r in obs.tracer.records()]
+        assert names.count("dispatch.batch") == 2
+        assert "dispatch.replay" in names
+        batch = next(
+            r for r in obs.tracer.records() if r["name"] == "dispatch.batch"
+        )
+        assert batch["attrs"]["grouped"] is True
+        assert batch["attrs"]["size"] > 0
+
+    def test_percall_batches_marked_ungrouped(self, tables, workload):
+        from repro.obs import Observability
+
+        obs = Observability.tracing()
+        DispatchEngine(
+            tables, obs=obs, workers=1, compiled=False
+        ).replay(workload[:32])
+        batch = next(
+            r for r in obs.tracer.records() if r["name"] == "dispatch.batch"
+        )
+        assert batch["attrs"]["grouped"] is False
